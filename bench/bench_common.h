@@ -1,0 +1,36 @@
+// Shared plumbing for the figure/table harnesses: CSV export and the
+// standard header each binary prints.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/csv.h"
+
+namespace ctesim::bench {
+
+struct HarnessIo {
+  std::unique_ptr<CsvWriter> csv;
+};
+
+/// Parse the standard harness flags (--csv=path). Returns false when the
+/// caller should exit (e.g. --help). Extra options can be registered on
+/// `cli` by the caller before invoking.
+inline bool parse_harness(int argc, char** argv, const std::string& name,
+                          const std::string& what, std::string* csv_path,
+                          Cli* cli = nullptr) {
+  Cli local(name, what);
+  Cli& c = cli ? *cli : local;
+  c.option("csv", csv_path, "write the series as CSV to this path");
+  return c.parse(argc, argv);
+}
+
+inline void banner(const char* id, const char* title) {
+  std::printf("=== %s — %s ===\n", id, title);
+  std::printf("(ctesim reproduction; machines are models, see DESIGN.md)\n\n");
+}
+
+}  // namespace ctesim::bench

@@ -1,0 +1,78 @@
+// Fig. 10: Alya Solver phase (slowest process, avg of 19 steps) — the
+// memory/communication-bound CG where HBM compresses the gap to ~1.8x.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/alya.h"
+#include "arch/configs.h"
+#include "bench_common.h"
+#include "report/plot.h"
+#include "report/table.h"
+
+using namespace ctesim;
+
+int main(int argc, char** argv) {
+  std::string csv_path;
+  if (!bench::parse_harness(argc, argv, "fig10_alya_solver",
+                            "Alya solver phase", &csv_path)) {
+    return 0;
+  }
+  bench::banner("Fig. 10", "Alya: Solver phase");
+
+  const auto cte = arch::cte_arm();
+  const auto mn4 = arch::marenostrum4();
+  report::Table table("solver seconds per step (slowest process)",
+                      {"nodes", "CTE-Arm", "MareNostrum 4"});
+  std::vector<double> cx, cy, mx, my;
+  std::unique_ptr<CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<CsvWriter>(
+        csv_path, std::vector<std::string>{"machine", "nodes", "solver_s"});
+  }
+  for (int nodes : {4, 8, 12, 16, 22, 32, 44, 62, 78}) {
+    const auto a = apps::run_alya(cte, nodes);
+    const auto b = apps::run_alya(mn4, nodes);
+    table.row({std::to_string(nodes),
+               a.fits_memory ? report::fixed(a.solver_per_step, 3) : "NP",
+               (b.fits_memory && nodes <= 16)
+                   ? report::fixed(b.solver_per_step, 3)
+                   : "-"});
+    if (a.fits_memory) {
+      cx.push_back(nodes);
+      cy.push_back(a.solver_per_step);
+      if (csv) {
+        csv->row(std::vector<std::string>{
+            "cte", std::to_string(nodes), report::fixed(a.solver_per_step, 5)});
+      }
+    }
+    if (b.fits_memory && nodes <= 16) {
+      mx.push_back(nodes);
+      my.push_back(b.solver_per_step);
+      if (csv) {
+        csv->row(std::vector<std::string>{
+            "mn4", std::to_string(nodes), report::fixed(b.solver_per_step, 5)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  report::LineChart chart("Alya solver phase", 72, 16);
+  chart.set_log_x(true);
+  chart.set_log_y(true);
+  chart.set_axis_labels("nodes", "s");
+  chart.series("CTE-Arm", cx, cy);
+  chart.series("MareNostrum 4", mx, my);
+  std::printf("\n");
+  chart.print(std::cout);
+
+  const auto c12 = apps::run_alya(cte, 12);
+  const auto m12 = apps::run_alya(mn4, 12);
+  const auto c22 = apps::run_alya(cte, 22);
+  std::printf(
+      "\nheadline: @12 nodes gap is %.2fx (paper: 1.79x, vs 4.96x in "
+      "assembly — HBM compresses the memory-bound phase); 22 CTE nodes = "
+      "%.3f s vs 12 MN4 = %.3f s (paper: equal at 22)\n",
+      c12.solver_per_step / m12.solver_per_step, c22.solver_per_step,
+      m12.solver_per_step);
+  return 0;
+}

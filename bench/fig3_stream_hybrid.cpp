@@ -1,0 +1,63 @@
+// Fig. 3: STREAM Triad bandwidth with hybrid MPI+OpenMP, at most one rank
+// per NUMA domain (CMG on CTE-Arm, socket on MareNostrum 4).
+#include <cstdio>
+#include <iostream>
+
+#include "arch/configs.h"
+#include "bench_common.h"
+#include "mem/stream_sim.h"
+#include "report/table.h"
+
+using namespace ctesim;
+
+int main(int argc, char** argv) {
+  std::string csv_path;
+  if (!bench::parse_harness(argc, argv, "fig3_stream_hybrid",
+                            "STREAM Triad MPI+OpenMP", &csv_path)) {
+    return 0;
+  }
+  bench::banner("Fig. 3", "STREAM Triad bandwidth with MPI+OpenMP");
+
+  const mem::StreamSimulator cte(arch::cte_arm());
+  const mem::StreamSimulator mn4(arch::marenostrum4());
+
+  report::Table table("GB/s per MPI x OMP layout (one rank per NUMA domain)",
+                      {"machine", "layout", "C", "Fortran"});
+  std::unique_ptr<CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<CsvWriter>(
+        csv_path, std::vector<std::string>{"machine", "ranks", "threads",
+                                           "c_gbs", "fortran_gbs"});
+  }
+  auto emit = [&](const mem::StreamSimulator& sim, const char* name,
+                  int procs, int threads) {
+    const double c = sim.hybrid_bandwidth(mem::StreamKernel::kTriad, procs,
+                                          threads, arch::Language::kC);
+    const double f = sim.hybrid_bandwidth(mem::StreamKernel::kTriad, procs,
+                                          threads, arch::Language::kFortran);
+    char layout[32];
+    std::snprintf(layout, sizeof(layout), "%dx%d", procs, threads);
+    table.row({name, layout, report::fixed(c / 1e9, 1),
+               report::fixed(f / 1e9, 1)});
+    if (csv) {
+      csv->row(std::vector<std::string>{
+          name, std::to_string(procs), std::to_string(threads),
+          report::fixed(c / 1e9, 3), report::fixed(f / 1e9, 3)});
+    }
+  };
+  for (int procs : {1, 2, 3, 4}) emit(cte, "CTE-Arm", procs, 12);
+  for (int procs : {1, 2}) emit(mn4, "MareNostrum 4", procs, 24);
+  table.print(std::cout);
+
+  const double best = cte.hybrid_bandwidth(mem::StreamKernel::kTriad, 4, 12,
+                                           arch::Language::kFortran);
+  const double best_c = cte.hybrid_bandwidth(mem::StreamKernel::kTriad, 4, 12,
+                                             arch::Language::kC);
+  std::printf(
+      "\nheadline: CTE-Arm Fortran 4x12 = %.1f GB/s (%.0f%% of peak; paper "
+      "862.6, 84%%)\n          CTE-Arm C 4x12 = %.1f GB/s (paper 421.1, "
+      "unexplained in the paper)\n",
+      best / 1e9, 100.0 * best / arch::cte_arm().node.peak_bw(),
+      best_c / 1e9);
+  return 0;
+}

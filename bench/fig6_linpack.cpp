@@ -1,0 +1,72 @@
+// Fig. 6: LINPACK scalability on CTE-Arm and MareNostrum 4, whole nodes up
+// to 192, vendor-tuned binaries (4 ranks/node on CTE-Arm, 1 on MN4),
+// N sized to >= 80% of aggregate memory.
+#include <cstdio>
+#include <iostream>
+
+#include "arch/configs.h"
+#include "bench_common.h"
+#include "hpcb/hpl.h"
+#include "report/plot.h"
+#include "report/table.h"
+
+using namespace ctesim;
+
+int main(int argc, char** argv) {
+  std::string csv_path;
+  if (!bench::parse_harness(argc, argv, "fig6_linpack",
+                            "Linpack scalability", &csv_path)) {
+    return 0;
+  }
+  bench::banner("Fig. 6", "Linpack scalability");
+
+  const auto cte_machine = arch::cte_arm();
+  const auto mn4_machine = arch::marenostrum4();
+  hpcb::HplModel cte(cte_machine, hpcb::hpl_config_for(cte_machine));
+  hpcb::HplModel mn4(mn4_machine, hpcb::hpl_config_for(mn4_machine));
+
+  report::Table table("HPL GFlop/s",
+                      {"nodes", "CTE-Arm", "eff%", "MN4", "eff%",
+                       "speedup"});
+  report::LineChart chart("Linpack scalability", 72, 18);
+  chart.set_log_x(true);
+  chart.set_log_y(true);
+  chart.set_axis_labels("nodes", "GFlop/s");
+  std::vector<double> xs, cte_ys, mn4_ys;
+  std::unique_ptr<CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<CsvWriter>(
+        csv_path, std::vector<std::string>{"nodes", "cte_gflops", "cte_eff",
+                                           "mn4_gflops", "mn4_eff"});
+  }
+  for (int nodes : {1, 2, 4, 8, 16, 32, 64, 96, 128, 160, 192}) {
+    const auto a = cte.run(nodes);
+    const auto b = mn4.run(nodes);
+    table.row(std::to_string(nodes),
+              {a.gflops, 100.0 * a.efficiency, b.gflops, 100.0 * b.efficiency,
+               a.gflops / b.gflops});
+    xs.push_back(nodes);
+    cte_ys.push_back(a.gflops);
+    mn4_ys.push_back(b.gflops);
+    if (csv) {
+      csv->row(std::vector<double>{static_cast<double>(nodes), a.gflops,
+                                   a.efficiency, b.gflops, b.efficiency});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\n");
+  chart.series("CTE-Arm", xs, cte_ys);
+  chart.series("MareNostrum 4", xs, mn4_ys);
+  chart.print(std::cout);
+
+  const auto a192 = cte.run(192);
+  const auto b192 = mn4.run(192);
+  std::printf(
+      "\nheadline @192 nodes: CTE-Arm %.0f%% of peak (paper 85%%, Fugaku "
+      "82%%), MN4 %.0f%% (paper 63%%)\n",
+      100.0 * a192.efficiency, 100.0 * b192.efficiency);
+  std::printf("problem sizes @192: CTE N=%.0f (P=%d Q=%d), MN4 N=%.0f "
+              "(P=%d Q=%d)\n",
+              a192.n, a192.p, a192.q, b192.n, b192.p, b192.q);
+  return 0;
+}

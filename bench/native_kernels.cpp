@@ -1,0 +1,173 @@
+// Native google-benchmark suite for the real numerical kernels: what the
+// host actually sustains on the loops whose signatures drive the machine
+// models. Useful for validating the flop/byte accounting of the kernel
+// library on real silicon.
+#include <benchmark/benchmark.h>
+
+#include "kernels/dense.h"
+#include "kernels/fft.h"
+#include "kernels/fma.h"
+#include "kernels/md.h"
+#include "kernels/multigrid.h"
+#include "kernels/sparse.h"
+#include "kernels/stencil.h"
+#include "kernels/stream.h"
+#include "kernels/transpose.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ctesim;
+
+void BM_StreamTriad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  kernels::Stream stream(n);
+  for (auto _ : state) {
+    stream.triad();
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 24);
+}
+BENCHMARK(BM_StreamTriad)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_FmaThroughputF64(benchmark::State& state) {
+  const auto iters = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = kernels::fma_throughput_f64(iters);
+    benchmark::DoNotOptimize(r.checksum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(iters) * 32);
+}
+BENCHMARK(BM_FmaThroughputF64)->Arg(100000);
+
+void BM_Spmv27(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = kernels::build_poisson27(n, n, n);
+  std::vector<double> x(a.rows, 1.0);
+  std::vector<double> y(a.rows);
+  for (auto _ : state) {
+    kernels::spmv(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()) * 2);
+}
+BENCHMARK(BM_Spmv27)->Arg(16)->Arg(32);
+
+void BM_SymGs(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = kernels::build_poisson27(n, n, n);
+  std::vector<double> b(a.rows, 1.0);
+  std::vector<double> x(a.rows, 0.0);
+  for (auto _ : state) {
+    kernels::symgs_sweep(a, b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SymGs)->Arg(16)->Arg(32);
+
+void BM_MiniHpcgVcycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const kernels::MultigridHierarchy mg(n, n, n, 3);
+  std::vector<double> r(mg.matrix(0).rows, 1.0);
+  std::vector<double> z;
+  for (auto _ : state) {
+    mg.v_cycle(r, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_MiniHpcgVcycle)->Arg(16)->Arg(32);
+
+void BM_LuFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  kernels::Matrix a0(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a0.at(i, j) = rng.uniform(-1, 1);
+  }
+  for (auto _ : state) {
+    kernels::Matrix a = a0;
+    std::vector<std::size_t> pivots;
+    benchmark::DoNotOptimize(kernels::lu_factor(a, pivots));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n / 3));
+}
+BENCHMARK(BM_LuFactor)->Arg(64)->Arg(128);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  kernels::Matrix a(n, n, 1.0);
+  kernels::Matrix b(n, n, 2.0);
+  kernels::Matrix c(n, n);
+  for (auto _ : state) {
+    kernels::gemm_blocked(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmBlocked)->Arg(128)->Arg(256);
+
+void BM_MdStep(benchmark::State& state) {
+  kernels::MdSystem md(kernels::MdConfig{
+      .particles = static_cast<std::size_t>(state.range(0)),
+      .box = 10.0,
+      .cutoff = 2.5,
+      .dt = 0.001});
+  for (auto _ : state) {
+    md.step();
+    benchmark::DoNotOptimize(md.potential_energy());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(md.last_pair_count()));
+}
+BENCHMARK(BM_MdStep)->Arg(512)->Arg(2048);
+
+void BM_DiffusionStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  kernels::Grid3D in(n, n, n, 1.0);
+  kernels::Grid3D out(n, n, n);
+  for (auto _ : state) {
+    kernels::diffusion_step(in, out, 0.1);
+    benchmark::DoNotOptimize(out.raw().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_DiffusionStep)->Arg(32)->Arg(64);
+
+void BM_TransposeBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> m(n * n);
+  for (auto& v : m) v = rng.uniform(-1, 1);
+  std::vector<double> t;
+  for (auto _ : state) {
+    kernels::transpose_blocked(m, n, n, t);
+    benchmark::DoNotOptimize(t.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n) * 16);
+}
+BENCHMARK(BM_TransposeBlocked)->Arg(256)->Arg(1024);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<kernels::Complex> base(n);
+  for (auto& v : base) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    auto x = base;
+    kernels::fft(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kernels::fft_flops(n)));
+}
+BENCHMARK(BM_Fft)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Alya proxy (Figs. 8/9/10): computational mechanics, TestCaseB input
+// (132M-element sphere mesh), MPI-only, 20 time steps of which 19 are
+// timed. Each time step is an Assembly phase (compute-intensive
+// unstructured FEM element loop — vectorizable in principle, but indirect)
+// followed by a Solver phase (CG: SpMV + dots + halo exchanges —
+// communication and memory dominated). The paper reports the average time
+// step and the per-phase times of the slowest process.
+#pragma once
+
+#include "arch/machine.h"
+
+namespace ctesim::apps {
+
+struct AlyaConfig {
+  // --- workload (TestCaseB) ---
+  double elements = 132e6;
+  double unknowns = 23e6;            ///< solver rows (mesh nodes)
+  double nnz_per_row = 13.0;         ///< unstructured FEM stencil
+  int solver_iters = 150;            ///< CG iterations per time step
+  int reported_steps = 19;           ///< steps averaged in the paper
+  // Assembly cost per element (Navier-Stokes-like element matrices).
+  double assembly_flops_per_elem = 28000.0;
+  double assembly_bytes_per_elem = 1400.0;
+  // Solver per-row costs per CG iteration (SpMV + BLAS-1).
+  double solver_flops_per_row = 36.0;
+  double solver_bytes_per_row = 202.0;
+  // Memory footprint: decomposed mesh data (sets the 12-node minimum on
+  // CTE-Arm the paper reports) plus per-rank replicated data.
+  double decomposed_bytes = 132e6 * 2670.0;
+  double replicated_bytes_per_rank = 50e6;
+  // --- simulation controls ---
+  int sim_steps = 2;        ///< time steps actually simulated
+  int sim_solver_iters = 40;  ///< CG iterations simulated per step
+};
+
+struct AlyaResult {
+  int nodes = 0;
+  bool fits_memory = false;
+  double time_per_step = 0.0;      ///< average time step (Fig. 8)
+  double assembly_per_step = 0.0;  ///< slowest process (Fig. 9)
+  double solver_per_step = 0.0;    ///< slowest process (Fig. 10)
+};
+
+/// Minimum node count at which TestCaseB fits (12 on CTE-Arm).
+int alya_min_nodes(const arch::MachineModel& machine,
+                   const AlyaConfig& config = {});
+
+/// Strong-scaling point on `nodes` full nodes (MPI-only population).
+AlyaResult run_alya(const arch::MachineModel& machine, int nodes,
+                    const AlyaConfig& config = {});
+
+}  // namespace ctesim::apps

@@ -1,0 +1,53 @@
+// Gromacs proxy (Figs. 12/13): molecular dynamics, lignocellulose-rf input
+// (3.3M atoms, reaction-field electrostatics — no PME/FFT, so short-range
+// non-bonded pair forces dominate, exactly the pattern of the native
+// kernel in kernels/md.h). Hybrid MPI+OpenMP with 6 threads per rank as
+// the paper runs it. Metric: days to simulate one nanosecond.
+//
+// The paper observes an unexplained anomaly at 16 MPI processes on both
+// machines, which disappears with 12 ranks x 8 threads; we reproduce it as
+// a domain-decomposition imbalance of the 16-rank grid.
+#pragma once
+
+#include "arch/machine.h"
+
+namespace ctesim::apps {
+
+struct GromacsConfig {
+  double atoms = 3.3e6;       ///< lignocellulose-rf
+  double pairs_per_atom = 300.0;  ///< rc = 1.2 nm neighborhood
+  int threads_per_rank = 6;   ///< Gromacs-recommended layout in the paper
+  int ranks_per_node = 8;     ///< 8 x 6 fills a 48-core node
+  double timestep_fs = 2.0;
+  // Per-atom non-pair work (bonded forces, integration, thermostat).
+  double bonded_flops_per_atom = 400.0;
+  double bonded_bytes_per_atom = 250.0;
+  // Neighbor-list rebuild every nstlist steps (extra pair-search work).
+  int nstlist = 10;
+  double search_flops_per_atom = 1200.0;
+  // DD communication: positions out, forces back, each step.
+  int dd_neighbors = 6;
+  double halo_bytes_per_surface_atom = 48.0;
+  /// Load imbalance of the domain decomposition keyed by rank count; the
+  /// 16-rank grid decomposes the triclinic box badly (paper Fig. 13).
+  double imbalance_16_ranks = 1.55;
+  double mpi_overhead_per_message = 20.0e-6;
+  // --- simulation controls ---
+  int sim_steps = 10;
+};
+
+struct GromacsResult {
+  int total_ranks = 0;
+  int cores = 0;
+  int nodes = 0;
+  double time_per_step = 0.0;
+  double days_per_ns = 0.0;  ///< the paper's y-axis
+};
+
+/// Run with `nranks` MPI ranks x config.threads_per_rank threads.
+/// Single-node study (Fig. 12): nranks * threads <= 48 -> one node.
+/// Multi-node study (Fig. 13): config.ranks_per_node ranks per node.
+GromacsResult run_gromacs(const arch::MachineModel& machine, int nranks,
+                          const GromacsConfig& config = {});
+
+}  // namespace ctesim::apps

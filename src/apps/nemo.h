@@ -1,0 +1,51 @@
+// NEMO proxy (Fig. 11): ocean model, BENCH configuration at ORCA1
+// resolution (362 x 292 horizontal, 75 levels), MPI-only with 2D domain
+// decomposition. Each time step sweeps many 3D fields (stencil dynamics,
+// memory-heavy), exchanges 2D halos, and performs a few global reductions
+// (e.g. solver/diagnostics). The paper reports total execution time; CTE
+// needs >= 8 nodes for memory and its scaling flattens around 128 nodes.
+#pragma once
+
+#include "arch/machine.h"
+
+namespace ctesim::apps {
+
+struct NemoConfig {
+  int grid_x = 362;   ///< ORCA1 horizontal grid
+  int grid_y = 292;
+  int levels = 75;
+  int steps = 1000;   ///< BENCH time steps reported
+  // Per grid-point per step costs (tens of kernels over ~30 3D fields).
+  double flops_per_point = 3250.0;
+  double bytes_per_point = 1920.0;
+  /// Kernel sweeps per step, each followed by a halo exchange (NEMO
+  /// exchanges after every group of field updates).
+  int kernels_per_step = 12;
+  int reductions_per_step = 2;
+  /// CPU cost of one MPI call in the 48-rank-per-node MPI-only regime
+  /// (stack traversal, matching, progress). At tiny tiles this fixed cost
+  /// is what flattens strong scaling (paper: "flattens at around 128
+  /// nodes because of strong scalability limitations").
+  double mpi_overhead_per_message = 5.5e-6;
+  // Memory model: decomposed 3D state + per-rank replicated configuration
+  // (sets the 8-node minimum on CTE-Arm with 48 ranks/node).
+  double decomposed_bytes = 45e9;
+  double replicated_bytes_per_rank = 0.548e9;
+  // --- simulation controls ---
+  int sim_steps = 2;
+};
+
+struct NemoResult {
+  int nodes = 0;
+  bool fits_memory = false;
+  double total_time = 0.0;  ///< full BENCH run (Fig. 11 y-axis)
+  double time_per_step = 0.0;
+};
+
+int nemo_min_nodes(const arch::MachineModel& machine,
+                   const NemoConfig& config = {});
+
+NemoResult run_nemo(const arch::MachineModel& machine, int nodes,
+                    const NemoConfig& config = {});
+
+}  // namespace ctesim::apps

@@ -1,0 +1,64 @@
+// OpenIFS proxy (Figs. 14/15): spectral numerical weather prediction.
+// Each step: grid-point physics (branchy per-column Fortran, essentially
+// scalar), spectral dynamics (FFT + Legendre transforms, the pattern of
+// kernels/fft.h), and the transposition alltoalls between grid-point and
+// spectral space. Single-node study uses TL255L91, multi-node TC0511L91
+// (needs >= 32 CTE-Arm nodes for memory). Metric: seconds to simulate one
+// forecast day.
+#pragma once
+
+#include "arch/machine.h"
+
+namespace ctesim::apps {
+
+struct OpenIfsInput {
+  const char* name = "TL255L91";
+  double columns = 88838.0;   ///< reduced Gaussian grid columns
+  int levels = 91;
+  double decomposed_bytes = 8e9;
+  int steps_per_day = 32;     ///< 2700 s time step at TL255
+};
+
+OpenIfsInput tl255l91();   ///< single-node input (Fig. 14)
+OpenIfsInput tc0511l91();  ///< multi-node input (Fig. 15)
+
+struct OpenIfsConfig {
+  OpenIfsInput input = {};
+  // Per column per level per step costs.
+  double physics_flops = 3600.0;
+  double physics_bytes = 140.0;
+  double spectral_flops = 1500.0;
+  double spectral_bytes = 450.0;
+  int transpositions_per_step = 4;  ///< grid<->Fourier<->spectral and back
+  double transposed_fields = 1.0;   ///< 3D fields moved per transposition
+  double replicated_bytes_per_rank = 0.34e9;
+  double mpi_overhead_per_message = 0.5e-6;
+  /// Extra per-transposition setup cost on CTE-Arm multi-node runs: the
+  /// only Tofu-capable MPI is Fujitsu's, whose alltoall path under the GNU
+  /// toolchain is not tuned (the paper's "MPI restrictions" conclusion,
+  /// Section VI item iii). Makes the multi-node gap wider than the
+  /// single-node one at moderate scale, as in Figs. 14/15.
+  double cte_transposition_setup = 4.0e-3;
+  // --- simulation controls ---
+  int sim_steps = 4;
+};
+
+struct OpenIfsResult {
+  int nodes = 0;
+  int ranks = 0;
+  bool fits_memory = false;
+  double seconds_per_day = 0.0;  ///< the paper's y-axis
+};
+
+int openifs_min_nodes(const arch::MachineModel& machine,
+                      const OpenIfsConfig& config);
+
+/// Single-node study: `nranks` MPI ranks on one node (Fig. 14).
+OpenIfsResult run_openifs_ranks(const arch::MachineModel& machine, int nranks,
+                                const OpenIfsConfig& config = {});
+
+/// Multi-node study: full nodes, 48 ranks each (Fig. 15).
+OpenIfsResult run_openifs_nodes(const arch::MachineModel& machine, int nodes,
+                                const OpenIfsConfig& config);
+
+}  // namespace ctesim::apps

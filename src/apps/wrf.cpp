@@ -1,0 +1,109 @@
+#include "apps/wrf.h"
+
+#include <cmath>
+#include <vector>
+
+#include "io/filesystem.h"
+#include "simmpi/world.h"
+#include "util/check.h"
+
+namespace ctesim::apps {
+
+namespace {
+
+void choose_grid2d(int nranks, int* px, int* py) {
+  int best = 1;
+  for (int cand = 1; cand * cand <= nranks; ++cand) {
+    if (nranks % cand == 0) best = cand;
+  }
+  *px = best;
+  *py = nranks / best;
+}
+
+}  // namespace
+
+WrfResult run_wrf(const arch::MachineModel& machine, int nodes,
+                  const WrfConfig& config) {
+  CTESIM_EXPECTS(nodes >= 1 && nodes <= machine.num_nodes);
+  WrfResult result;
+  result.nodes = nodes;
+
+  mpi::WorldOptions options;
+  options.machine = machine;
+  options.compute_jitter = 0.015;
+  options.seed = 5000 + static_cast<std::uint64_t>(nodes);
+  mpi::World world(std::move(options),
+                   mpi::Placement::per_core(machine.node, nodes *
+                                            machine.node.core_count()));
+
+  const int nranks = world.num_ranks();
+  const double mpi_overhead = config.mpi_overhead_per_message * 8.0e9 /
+                              machine.node.core.effective_scalar_flops();
+  int px = 1;
+  int py = 1;
+  choose_grid2d(nranks, &px, &py);
+  const double local_x = static_cast<double>(config.grid_x) / px;
+  const double local_y = static_cast<double>(config.grid_y) / py;
+  const double points_local = local_x * local_y * config.levels;
+  const auto halo_bytes = static_cast<std::uint64_t>(
+      (local_x + local_y) * config.levels * 8.0 * 3.0);
+
+  const roofline::KernelSig dynamics_sig{
+      .name = "wrf-dynamics",
+      .cls = arch::KernelClass::kStencil,
+      .flops_per_elem = config.dynamics_flops_per_point,
+      .bytes_per_elem = config.dynamics_bytes_per_point,
+      .vec_potential = 0.95,
+      .overlap = 0.8};
+  const roofline::KernelSig physics_sig{
+      .name = "wrf-physics",
+      .cls = arch::KernelClass::kPhysics,
+      .flops_per_elem = config.physics_flops_per_point,
+      .bytes_per_elem = config.physics_bytes_per_point,
+      .vec_potential = 0.30,
+      .overlap = 0.6};
+
+  world.run([&, halo_bytes, px, py](mpi::Rank& rank) -> sim::Task<> {
+    const int cx = rank.id() % px;
+    const int cy = rank.id() / px;
+    std::vector<int> neighbors;
+    if (cx > 0) neighbors.push_back(rank.id() - 1);
+    if (cx + 1 < px) neighbors.push_back(rank.id() + 1);
+    if (cy > 0) neighbors.push_back(rank.id() - px);
+    if (cy + 1 < py) neighbors.push_back(rank.id() + px);
+
+    for (int step = 0; step < config.sim_steps; ++step) {
+      const double t0 = rank.now_s();
+      for (int k = 0; k < config.halo_exchanges_per_step; ++k) {
+        co_await rank.compute(dynamics_sig,
+                              points_local / config.halo_exchanges_per_step);
+        co_await rank.compute_seconds(
+            mpi_overhead * 2.0 * static_cast<double>(neighbors.size()));
+        co_await rank.exchange(neighbors, halo_bytes, /*tag=*/1);
+      }
+      co_await rank.compute(physics_sig, points_local);
+      rank.phase_add("step", rank.now_s() - t0);
+    }
+    co_return;
+  });
+
+  result.time_per_step = world.phase_max("step") / config.sim_steps;
+
+  if (config.io_enabled) {
+    const auto frame_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(config.grid_x) * config.grid_y * config.levels *
+        config.frame_bytes_per_point);
+    const io::FilesystemModel fs = io::production_filesystem(machine);
+    const double per_frame =
+        config.parallel_io
+            ? fs.parallel_write_seconds(frame_bytes, nodes)
+            : fs.serial_write_seconds(frame_bytes);
+    result.io_time = per_frame * config.frames;
+  }
+
+  result.total_time =
+      result.time_per_step * config.steps + result.io_time;
+  return result;
+}
+
+}  // namespace ctesim::apps

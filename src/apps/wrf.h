@@ -1,0 +1,51 @@
+// WRF proxy (Fig. 16): mesoscale NWP, Iberian peninsula at 4 km
+// resolution, 56 simulated hours, one output frame per simulated hour (54
+// frames written). Each step: finite-difference dynamics (stencil sweeps
+// over the 3D grid, the pattern of kernels/stencil.h) plus column physics
+// (branchy, scalar); halo exchanges between sweeps. I/O gathers each
+// frame to rank 0 and writes it; the paper finds runs with and without
+// I/O nearly indistinguishable, with I/O-off slightly ahead.
+#pragma once
+
+#include "arch/machine.h"
+
+namespace ctesim::apps {
+
+struct WrfConfig {
+  int grid_x = 450;  ///< Iberia at 4 km
+  int grid_y = 375;
+  int levels = 45;
+  int steps = 8400;        ///< 56 h at dt = 24 s
+  int frames = 54;         ///< hourly output
+  bool io_enabled = true;
+  // Per-point per-step costs.
+  double dynamics_flops_per_point = 2400.0;
+  double dynamics_bytes_per_point = 1550.0;
+  double physics_flops_per_point = 980.0;
+  double physics_bytes_per_point = 110.0;
+  int halo_exchanges_per_step = 6;
+  /// Per-message MPI software cost for a reference 8 GFlop/s scalar core;
+  /// the actual charge scales inversely with the machine's effective
+  /// scalar speed (the MPI stack is scalar code, so A64FX pays ~2.4x).
+  double mpi_overhead_per_message = 12.0e-6;
+  // I/O: one frame per simulated hour, written through the parallel
+  // filesystem model (io::FilesystemModel). Default: WRF's serial
+  // gather-to-rank-0 writer; parallel_io switches to an MPI-IO-style
+  // striped write (the obvious optimization the model lets you test).
+  double frame_bytes_per_point = 13.0;  ///< ~3D + surface fields, packed
+  bool parallel_io = false;
+  // --- simulation controls ---
+  int sim_steps = 2;
+};
+
+struct WrfResult {
+  int nodes = 0;
+  double total_time = 0.0;     ///< elapsed for the 56 h run (Fig. 16)
+  double time_per_step = 0.0;
+  double io_time = 0.0;        ///< share of total spent writing frames
+};
+
+WrfResult run_wrf(const arch::MachineModel& machine, int nodes,
+                  const WrfConfig& config = {});
+
+}  // namespace ctesim::apps

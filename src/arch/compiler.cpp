@@ -1,0 +1,212 @@
+#include "arch/compiler.h"
+
+#include "util/check.h"
+
+namespace ctesim::arch {
+
+namespace {
+
+struct CodegenRow {
+  double vectorization;    ///< fraction of vectorizable work emitted as SIMD
+  double scalar_quality;   ///< scalar code-generation quality multiplier
+  double mem_efficiency;   ///< fraction of best streaming bandwidth sustained
+};
+
+// Rows indexed by KernelClass, one table per (compiler, microarchitecture)
+// pair that occurs in the paper. Values are modelling constants: the
+// vectorization column encodes the paper's Section VI finding (GNU cannot
+// leverage SVE on the applications), the mem_efficiency column encodes the
+// HBM-needs-prefetch behaviour of A64FX vs the latency-tolerant Skylake.
+constexpr int kNumClasses = 10;
+
+// GNU on A64FX: scalar-only application code, no software prefetch.
+constexpr CodegenRow kGnuA64fx[kNumClasses] = {
+    /* FmaThroughput     */ {1.00, 1.00, 0.90},  // hand-written asm kernel
+    /* Stream            */ {0.90, 0.95, 0.62},  // no zfill, no sw prefetch
+    /* DenseLinAlg       */ {0.40, 0.90, 0.75},
+    /* SparseSolver      */ {0.04, 0.85, 0.145},
+    /* Stencil           */ {0.12, 0.88, 0.30},
+    /* FemAssembly       */ {0.02, 0.85, 0.35},
+    /* MdNonbonded       */ {0.28, 0.88, 0.45},  // GMX_SIMD=ARM_SVE partial
+    /* SpectralTransform */ {0.10, 0.85, 0.35},
+    /* Physics           */ {0.01, 0.62, 0.30},
+    /* Generic           */ {0.08, 0.85, 0.35},
+};
+
+// Fujitsu on A64FX: vectorizes regular kernels well, emits prefetch/zfill
+// (the Table II STREAM flags), but failed to build the applications at all.
+constexpr CodegenRow kFujitsuA64fx[kNumClasses] = {
+    /* FmaThroughput     */ {1.00, 1.00, 0.95},
+    /* Stream            */ {1.00, 1.00, 1.00},
+    /* DenseLinAlg       */ {0.85, 1.00, 0.90},
+    /* SparseSolver      */ {0.35, 1.00, 0.55},  // vanilla HPCG build
+    /* Stencil           */ {0.60, 1.00, 0.70},
+    /* FemAssembly       */ {0.25, 0.95, 0.55},
+    /* MdNonbonded       */ {0.40, 0.95, 0.60},
+    /* SpectralTransform */ {0.45, 0.95, 0.60},
+    /* Physics           */ {0.05, 0.90, 0.45},
+    /* Generic           */ {0.30, 0.95, 0.55},
+};
+
+// Intel on Skylake: mature AVX-512 code generation; deep OoO hides DDR4
+// latency so mem_efficiency stays high even for indirect accesses.
+constexpr CodegenRow kIntelSkx[kNumClasses] = {
+    /* FmaThroughput     */ {1.00, 1.00, 0.90},
+    /* Stream            */ {1.00, 1.00, 1.00},
+    /* DenseLinAlg       */ {0.80, 1.00, 0.90},
+    /* SparseSolver      */ {0.20, 1.00, 0.85},
+    /* Stencil           */ {0.50, 1.00, 0.88},
+    /* FemAssembly       */ {0.58, 1.00, 0.85},
+    /* MdNonbonded       */ {0.55, 1.00, 0.85},
+    /* SpectralTransform */ {0.45, 1.00, 0.85},
+    /* Physics           */ {0.08, 0.95, 0.80},
+    /* Generic           */ {0.30, 1.00, 0.85},
+};
+
+// GNU on Skylake (Alya reference build, Table III): slightly behind Intel.
+constexpr CodegenRow kGnuSkx[kNumClasses] = {
+    /* FmaThroughput     */ {1.00, 1.00, 0.90},
+    /* Stream            */ {0.95, 0.95, 0.95},
+    /* DenseLinAlg       */ {0.70, 0.95, 0.88},
+    /* SparseSolver      */ {0.15, 0.95, 0.85},
+    /* Stencil           */ {0.45, 0.95, 0.86},
+    /* FemAssembly       */ {0.30, 0.95, 0.85},
+    /* MdNonbonded       */ {0.50, 0.95, 0.85},
+    /* SpectralTransform */ {0.40, 0.95, 0.85},
+    /* Physics           */ {0.06, 0.92, 0.80},
+    /* Generic           */ {0.25, 0.95, 0.85},
+};
+
+// Vendor-tuned binaries (LINPACK, optimized HPCG): hand-optimized for the
+// exact microarchitecture.
+constexpr CodegenRow kVendorA64fx[kNumClasses] = {
+    /* FmaThroughput     */ {1.00, 1.00, 0.95},
+    /* Stream            */ {1.00, 1.00, 1.00},
+    /* DenseLinAlg       */ {0.98, 1.00, 0.95},
+    /* SparseSolver      */ {0.75, 1.00, 0.93},  // optimized HPCG
+    /* Stencil           */ {0.90, 1.00, 0.93},
+    /* FemAssembly       */ {0.80, 1.00, 0.90},
+    /* MdNonbonded       */ {0.85, 1.00, 0.90},
+    /* SpectralTransform */ {0.85, 1.00, 0.90},
+    /* Physics           */ {0.40, 1.00, 0.80},
+    /* Generic           */ {0.80, 1.00, 0.90},
+};
+
+constexpr CodegenRow kVendorSkx[kNumClasses] = {
+    /* FmaThroughput     */ {1.00, 1.00, 0.90},
+    /* Stream            */ {1.00, 1.00, 1.00},
+    /* DenseLinAlg       */ {0.93, 1.00, 0.92},
+    /* SparseSolver      */ {0.45, 1.00, 0.87},  // optimized HPCG (MKL)
+    /* Stencil           */ {0.75, 1.00, 0.90},
+    /* FemAssembly       */ {0.70, 1.00, 0.88},
+    /* MdNonbonded       */ {0.75, 1.00, 0.88},
+    /* SpectralTransform */ {0.75, 1.00, 0.88},
+    /* Physics           */ {0.30, 1.00, 0.82},
+    /* Generic           */ {0.70, 1.00, 0.88},
+};
+
+// Conservative fallback for user-defined machines.
+constexpr CodegenRow kGenericRow = {0.30, 0.90, 0.70};
+
+const CodegenRow* table_for(CompilerVendor vendor, MicroArch uarch) {
+  switch (uarch) {
+    case MicroArch::kA64fx:
+      switch (vendor) {
+        case CompilerVendor::kGnu:
+          return kGnuA64fx;
+        case CompilerVendor::kFujitsu:
+          return kFujitsuA64fx;
+        case CompilerVendor::kVendorTuned:
+          return kVendorA64fx;
+        case CompilerVendor::kIntel:
+          return nullptr;  // Intel does not target A64FX
+      }
+      return nullptr;
+    case MicroArch::kSkylake:
+      switch (vendor) {
+        case CompilerVendor::kGnu:
+          return kGnuSkx;
+        case CompilerVendor::kIntel:
+          return kIntelSkx;
+        case CompilerVendor::kVendorTuned:
+          return kVendorSkx;
+        case CompilerVendor::kFujitsu:
+          return nullptr;  // Fujitsu does not target x86
+      }
+      return nullptr;
+    case MicroArch::kGeneric:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+const CodegenRow& row_for(CompilerVendor vendor, KernelClass k,
+                          const CoreModel& core) {
+  const CodegenRow* table = table_for(vendor, core.uarch);
+  if (table == nullptr) return kGenericRow;
+  const int idx = static_cast<int>(k);
+  CTESIM_EXPECTS(idx >= 0 && idx < kNumClasses);
+  return table[idx];
+}
+
+}  // namespace
+
+const char* name_of(KernelClass k) {
+  switch (k) {
+    case KernelClass::kFmaThroughput:
+      return "fma-throughput";
+    case KernelClass::kStream:
+      return "stream";
+    case KernelClass::kDenseLinAlg:
+      return "dense-linalg";
+    case KernelClass::kSparseSolver:
+      return "sparse-solver";
+    case KernelClass::kStencil:
+      return "stencil";
+    case KernelClass::kFemAssembly:
+      return "fem-assembly";
+    case KernelClass::kMdNonbonded:
+      return "md-nonbonded";
+    case KernelClass::kSpectralTransform:
+      return "spectral-transform";
+    case KernelClass::kPhysics:
+      return "physics";
+    case KernelClass::kGeneric:
+      return "generic";
+  }
+  return "?";
+}
+
+const char* name_of(CompilerVendor v) {
+  switch (v) {
+    case CompilerVendor::kGnu:
+      return "GNU";
+    case CompilerVendor::kFujitsu:
+      return "Fujitsu";
+    case CompilerVendor::kIntel:
+      return "Intel";
+    case CompilerVendor::kVendorTuned:
+      return "vendor-tuned";
+  }
+  return "?";
+}
+
+CompilerModel::CompilerModel(CompilerVendor vendor, std::string version)
+    : vendor_(vendor), version_(std::move(version)) {}
+
+double CompilerModel::vectorization(KernelClass k,
+                                    const CoreModel& core) const {
+  return row_for(vendor_, k, core).vectorization;
+}
+
+double CompilerModel::scalar_quality(KernelClass k,
+                                     const CoreModel& core) const {
+  return row_for(vendor_, k, core).scalar_quality;
+}
+
+double CompilerModel::mem_efficiency(KernelClass k,
+                                     const CoreModel& core) const {
+  return row_for(vendor_, k, core).mem_efficiency;
+}
+
+}  // namespace ctesim::arch

@@ -1,0 +1,72 @@
+// Compiler model.
+//
+// The paper's central finding is that application performance on A64FX is
+// limited by what the compiler achieves, not by the silicon: GNU cannot
+// exploit SVE on the complex Fortran codes ("we verified that the compiler
+// could not leverage the SVE unit in several cases", Section VI), so
+// applications run on the weak scalar core, while vendor-tuned binaries
+// (LINPACK, optimized HPCG) vectorize near-perfectly.
+//
+// We make that executable: a CompilerModel maps (kernel class, target ISA)
+// to an achieved-vectorization fraction and a scalar code-quality factor.
+// The numbers are calibration constants (arch/calibration.h), each tied to a
+// paper observation.
+#pragma once
+
+#include <string>
+
+#include "arch/core_model.h"
+
+namespace ctesim::arch {
+
+enum class CompilerVendor { kGnu, kFujitsu, kIntel, kVendorTuned };
+
+enum class Language { kC, kFortran };
+
+/// Classes of computational kernels with distinct vectorizability and
+/// code-generation behaviour.
+enum class KernelClass {
+  kFmaThroughput,      ///< hand-written FMA microkernel (Fig. 1)
+  kStream,             ///< contiguous streaming loads/stores (Fig. 2/3)
+  kDenseLinAlg,        ///< DGEMM-like blocked dense kernels (HPL)
+  kSparseSolver,       ///< SpMV / SymGS, indirect accesses (HPCG, solvers)
+  kStencil,            ///< structured-grid finite differences (NEMO, WRF)
+  kFemAssembly,        ///< unstructured FEM element loops (Alya assembly)
+  kMdNonbonded,        ///< MD pairwise force loops (Gromacs)
+  kSpectralTransform,  ///< FFT/Legendre transforms (OpenIFS)
+  kPhysics,            ///< column physics, branchy Fortran (OpenIFS, WRF)
+  kGeneric,            ///< anything else
+};
+
+const char* name_of(KernelClass k);
+const char* name_of(CompilerVendor v);
+
+class CompilerModel {
+ public:
+  CompilerModel(CompilerVendor vendor, std::string version);
+
+  CompilerVendor vendor() const { return vendor_; }
+  const std::string& version() const { return version_; }
+
+  /// Fraction of a kernel's vectorizable work actually emitted as vector
+  /// instructions for the given target core.
+  double vectorization(KernelClass k, const CoreModel& core) const;
+
+  /// Multiplier on scalar throughput capturing code-generation quality for
+  /// the non-vector part (register allocation, unrolling, prefetch).
+  double scalar_quality(KernelClass k, const CoreModel& core) const;
+
+  /// Fraction of the node's best streaming bandwidth this kernel class
+  /// sustains with this compiler's code. Crucial A64FX effect: HBM needs
+  /// deep memory-level parallelism; without software prefetch (which only
+  /// the Fujitsu compiler emits, Table II flags) indirect/latency-bound
+  /// access patterns achieve a small fraction of STREAM bandwidth, while
+  /// Skylake's deep OoO window hides DDR4 latency almost for free.
+  double mem_efficiency(KernelClass k, const CoreModel& core) const;
+
+ private:
+  CompilerVendor vendor_;
+  std::string version_;
+};
+
+}  // namespace ctesim::arch

@@ -1,0 +1,139 @@
+#include "arch/configs.h"
+
+#include "arch/calibration.h"
+
+namespace ctesim::arch {
+
+MachineModel cte_arm() {
+  MachineModel m;
+  m.name = "CTE-Arm";
+  m.integrator = "Fujitsu";
+  m.core_arch = "Armv8";
+  m.simd = "NEON, SVE";
+  m.cpu_name = "A64FX";
+  m.memory_tech = "HBM";
+
+  m.node.core = CoreModel{
+      .isa_name = "SVE",
+      .uarch = MicroArch::kA64fx,
+      .freq_ghz = 2.20,
+      .vector_bits = 512,
+      .fma_pipes = 2,
+      .flops_per_fma = 2,
+      .scalar_fma_per_cycle = 2,
+      .fp16_vector = true,  // A64FX has native FP16 SVE arithmetic
+      .ooo_scalar_efficiency = calib::kA64fxOooEfficiency,
+      .l1d_kb = 64,
+  };
+  m.node.domain = MemoryDomainModel{
+      .cores = 12,  // one Core Memory Group
+      .capacity_gb = 8.0,
+      .peak_bw = calib::kA64fxCmgPeakBw,
+      .eff_ceiling = calib::kA64fxCmgEffCeiling,
+      .single_thread_bw = calib::kA64fxThreadBw,
+      .contention_decay = calib::kA64fxContentionDecay,
+  };
+  m.node.num_domains = 4;
+  m.node.sockets = 1;
+  m.node.single_process_bw_cap = calib::kA64fxSingleProcessCap;
+  m.node.sp_thread_bw = calib::kA64fxSpreadThreadBw;
+  m.node.shm_bw = calib::kA64fxShmBw;
+  m.node.shm_latency = calib::kShmLatency;
+  m.node.l2_total_mb = 32.0;  // 8 MB per CMG, no L3
+  m.node.l3_total_mb = 0.0;
+
+  m.num_nodes = 192;
+  m.interconnect = InterconnectSpec{
+      .name = "TofuD",
+      .kind = InterconnectSpec::Kind::kTorus,
+      // 6D torus X,Y,Z,a,b,c; the (a,b,c)=(2,3,2) unit group is fixed in
+      // TofuD hardware; 4*2*2 unit groups give the 192 nodes of CTE-Arm.
+      .dims = {4, 2, 2, 2, 3, 2},
+      .link_bw = calib::kTofuLinkBw,
+      .eff_bw_factor = calib::kTofuEffBwFactor,
+      .base_latency_s = calib::kTofuBaseLatency,
+      .per_hop_latency_s = calib::kTofuPerHopLatency,
+      .eager_threshold = calib::kTofuEagerThreshold,
+      .rendezvous_latency_s = calib::kTofuRendezvousLatency,
+      .hop_bw_penalty = calib::kTofuHopBwPenalty,
+      .long_dim_bw_penalty = calib::kTofuLongDimBwPenalty,
+  };
+  return m;
+}
+
+MachineModel marenostrum4() {
+  MachineModel m;
+  m.name = "MareNostrum 4";
+  m.integrator = "Lenovo";
+  m.core_arch = "Intel x86";
+  m.simd = "AVX512";
+  m.cpu_name = "Intel Xeon Platinum 8160";
+  m.memory_tech = "DDR4-2666";
+
+  m.node.core = CoreModel{
+      .isa_name = "AVX512",
+      .uarch = MicroArch::kSkylake,
+      .freq_ghz = 2.10,
+      .vector_bits = 512,
+      .fma_pipes = 2,
+      .flops_per_fma = 2,
+      .scalar_fma_per_cycle = 2,
+      .fp16_vector = false,  // no native FP16 arithmetic on Skylake
+      .ooo_scalar_efficiency = calib::kSkxOooEfficiency,
+      .l1d_kb = 32,
+  };
+  m.node.domain = MemoryDomainModel{
+      .cores = 24,  // one Skylake socket
+      .capacity_gb = 48.0,
+      .peak_bw = calib::kSkxSocketPeakBw,
+      .eff_ceiling = calib::kSkxSocketEffCeiling,
+      .single_thread_bw = calib::kSkxThreadBw,
+      .contention_decay = calib::kSkxContentionDecay,
+  };
+  m.node.num_domains = 2;
+  m.node.sockets = 2;
+  m.node.single_process_bw_cap = 0.0;  // UPI does not bottleneck STREAM
+  m.node.sp_thread_bw = calib::kSkxThreadBw;
+  m.node.shm_bw = calib::kSkxShmBw;
+  m.node.shm_latency = calib::kShmLatency;
+  m.node.l2_total_mb = 48.0;  // 1 MB per core
+  m.node.l3_total_mb = 66.0;  // 33 MB per socket
+
+  m.num_nodes = 3456;
+  m.interconnect = InterconnectSpec{
+      .name = "Intel OmniPath",
+      .kind = InterconnectSpec::Kind::kFatTree,
+      .dims = {},
+      .link_bw = calib::kOpaLinkBw,
+      .eff_bw_factor = calib::kOpaEffBwFactor,
+      .base_latency_s = calib::kOpaBaseLatency,
+      .per_hop_latency_s = calib::kOpaPerHopLatency,
+      .eager_threshold = calib::kOpaEagerThreshold,
+      .rendezvous_latency_s = calib::kOpaRendezvousLatency,
+      .hop_bw_penalty = calib::kOpaHopBwPenalty,
+  };
+  return m;
+}
+
+CompilerModel gnu_compiler() {
+  return CompilerModel(CompilerVendor::kGnu, "8.3.1-sve");
+}
+
+CompilerModel fujitsu_compiler() {
+  return CompilerModel(CompilerVendor::kFujitsu, "1.2.26b");
+}
+
+CompilerModel intel_compiler() {
+  return CompilerModel(CompilerVendor::kIntel, "2018.4");
+}
+
+CompilerModel vendor_tuned() {
+  return CompilerModel(CompilerVendor::kVendorTuned, "vendor");
+}
+
+CompilerModel default_app_compiler(const MachineModel& machine) {
+  if (machine.core_arch == "Armv8") return gnu_compiler();
+  return intel_compiler();
+}
+
+}  // namespace ctesim::arch

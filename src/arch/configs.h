@@ -1,0 +1,29 @@
+// Factory functions building the two machines of the paper (Table I) and
+// the compilers used on them (Tables II and III).
+#pragma once
+
+#include "arch/compiler.h"
+#include "arch/machine.h"
+
+namespace ctesim::arch {
+
+/// CTE-Arm: 192 nodes × 1 Fujitsu A64FX (48 cores, 4 CMGs, HBM2, SVE-512),
+/// TofuD 6D-torus interconnect.
+MachineModel cte_arm();
+
+/// MareNostrum 4: 3456 nodes × 2 Intel Xeon Platinum 8160 (2×24 cores,
+/// DDR4-2666 ×6ch/socket, AVX-512), Intel OmniPath interconnect.
+MachineModel marenostrum4();
+
+/// Compilers from Tables II/III.
+CompilerModel gnu_compiler();       ///< GNU 8.3.1-sve / 11.0.0
+CompilerModel fujitsu_compiler();   ///< Fujitsu 1.2.26b
+CompilerModel intel_compiler();     ///< Intel 2017.4 / 2018.4 / 19.1
+CompilerModel vendor_tuned();       ///< hand-tuned vendor binaries (HPL/HPCG)
+
+/// The compiler actually used for the application runs on each machine in
+/// the paper: GNU on CTE-Arm (Fujitsu failed to build the apps, Section V),
+/// Intel on MareNostrum 4.
+CompilerModel default_app_compiler(const MachineModel& machine);
+
+}  // namespace ctesim::arch

@@ -1,0 +1,84 @@
+// Per-core microarchitecture model: frequency, FMA pipes, vector width, and
+// scalar-issue behaviour. Enough to compute the theoretical peaks of Table I
+// and the Fig. 1 FPU-microkernel numbers, and to feed the roofline model.
+#pragma once
+
+#include <string>
+
+#include "util/check.h"
+
+namespace ctesim::arch {
+
+enum class Precision { kHalf, kSingle, kDouble };
+
+/// Bits per element of a floating-point precision.
+constexpr int bits_of(Precision p) {
+  switch (p) {
+    case Precision::kHalf:
+      return 16;
+    case Precision::kSingle:
+      return 32;
+    case Precision::kDouble:
+      return 64;
+  }
+  return 64;
+}
+
+constexpr const char* name_of(Precision p) {
+  switch (p) {
+    case Precision::kHalf:
+      return "half";
+    case Precision::kSingle:
+      return "single";
+    case Precision::kDouble:
+      return "double";
+  }
+  return "?";
+}
+
+/// Microarchitecture family — key for the compiler model's per-target
+/// code-generation quality tables.
+enum class MicroArch { kA64fx, kSkylake, kGeneric };
+
+struct CoreModel {
+  std::string isa_name;        ///< e.g. "SVE", "AVX512"
+  MicroArch uarch = MicroArch::kGeneric;
+  double freq_ghz = 0.0;       ///< core clock (turbo disabled, as in Table I)
+  int vector_bits = 0;         ///< SIMD register width
+  int fma_pipes = 2;           ///< vector FMA pipelines per core
+  int flops_per_fma = 2;       ///< fused multiply-add = 2 FP ops
+  int scalar_fma_per_cycle = 2;  ///< scalar FMA issue slots per cycle
+  bool fp16_vector = false;    ///< native half-precision vector arithmetic
+  /// Fraction of ideal scalar issue achieved on real (dependent, branchy)
+  /// code — the out-of-order "muscle" of the core. The paper attributes the
+  /// application slowdown to A64FX's weaker OoO scalar core (Section VI).
+  double ooo_scalar_efficiency = 1.0;
+  int l1d_kb = 0;  ///< L1 data cache per core (Table I)
+
+  /// Vector-unit peak, FLOP/s for one core: P_v = s * i * f * o (paper
+  /// Section III-A). Half precision on machines without native FP16 vectors
+  /// falls back to the single-precision rate (elements are widened).
+  double peak_vector_flops(Precision p) const {
+    CTESIM_EXPECTS(freq_ghz > 0.0 && vector_bits > 0);
+    const Precision effective =
+        (p == Precision::kHalf && !fp16_vector) ? Precision::kSingle : p;
+    const double lanes =
+        static_cast<double>(vector_bits) / bits_of(effective);
+    return lanes * fma_pipes * flops_per_fma * freq_ghz * 1e9;
+  }
+
+  /// Scalar-pipe peak, FLOP/s for one core (precision-independent: scalar
+  /// FMA units retire one element per op regardless of width).
+  double peak_scalar_flops() const {
+    CTESIM_EXPECTS(freq_ghz > 0.0);
+    return static_cast<double>(scalar_fma_per_cycle) * flops_per_fma *
+           freq_ghz * 1e9;
+  }
+
+  /// Scalar throughput achieved on real application code.
+  double effective_scalar_flops() const {
+    return peak_scalar_flops() * ooo_scalar_efficiency;
+  }
+};
+
+}  // namespace ctesim::arch

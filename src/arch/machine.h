@@ -1,0 +1,52 @@
+// Whole-machine description: node model × node count × interconnect. The
+// two instances used throughout (CTE-Arm, MareNostrum 4) are built by
+// arch/configs.h from Table I of the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/node.h"
+
+namespace ctesim::arch {
+
+/// Interconnect description consumed by net::Network.
+struct InterconnectSpec {
+  enum class Kind { kTorus, kFatTree };
+
+  std::string name;            ///< "TofuD", "Intel OmniPath"
+  Kind kind = Kind::kFatTree;
+  std::vector<int> dims;       ///< torus dimension sizes (empty for fat-tree)
+  double link_bw = 0.0;        ///< peak bytes/s per link per direction
+  double eff_bw_factor = 1.0;  ///< achieved fraction of link_bw
+  double base_latency_s = 0.0;     ///< software + NIC injection latency
+  double per_hop_latency_s = 0.0;  ///< switch/router traversal per hop
+  std::size_t eager_threshold = 0;  ///< bytes; above it, rendezvous protocol
+  double rendezvous_latency_s = 0.0;  ///< extra handshake round-trip
+  /// Per-hop relative bandwidth loss for long routes (store-and-forward /
+  /// shared-link effects) — source of the >1 MB variability in Fig. 5.
+  double hop_bw_penalty = 0.0;
+  /// Additional per-hop bandwidth loss along the torus' first dimension
+  /// (the rack-spanning X links of TofuD, longer cables and shared
+  /// inter-rack trunks). Splits node pairs into distinct bandwidth groups
+  /// by X-distance — the bimodal mid-size distribution of Fig. 5.
+  double long_dim_bw_penalty = 0.0;
+};
+
+struct MachineModel {
+  std::string name;
+  std::string integrator;
+  std::string core_arch;
+  std::string simd;
+  std::string cpu_name;
+  std::string memory_tech;
+  NodeModel node;
+  int num_nodes = 0;
+  InterconnectSpec interconnect;
+
+  double peak_flops_total(Precision p = Precision::kDouble) const {
+    return node.peak_flops(p) * num_nodes;
+  }
+};
+
+}  // namespace ctesim::arch

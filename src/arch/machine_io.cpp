@@ -1,0 +1,368 @@
+#include "arch/machine_io.h"
+
+#include "arch/validate.h"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ctesim::arch {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw MachineParseError("machine file line " + std::to_string(line) + ": " +
+                          what);
+}
+
+MicroArch uarch_from(const std::string& name, int line) {
+  if (name == "a64fx") return MicroArch::kA64fx;
+  if (name == "skylake") return MicroArch::kSkylake;
+  if (name == "generic") return MicroArch::kGeneric;
+  fail(line, "unknown uarch '" + name + "'");
+}
+
+const char* uarch_name(MicroArch u) {
+  switch (u) {
+    case MicroArch::kA64fx:
+      return "a64fx";
+    case MicroArch::kSkylake:
+      return "skylake";
+    case MicroArch::kGeneric:
+      return "generic";
+  }
+  return "generic";
+}
+
+InterconnectSpec::Kind kind_from(const std::string& name, int line) {
+  if (name == "torus") return InterconnectSpec::Kind::kTorus;
+  if (name == "fattree") return InterconnectSpec::Kind::kFatTree;
+  fail(line, "unknown interconnect kind '" + name + "'");
+}
+
+double to_double(const std::string& value, int line) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || *end != '\0') fail(line, "bad number '" + value + "'");
+  return v;
+}
+
+int to_int(const std::string& value, int line) {
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0') {
+    fail(line, "bad integer '" + value + "'");
+  }
+  return static_cast<int>(v);
+}
+
+bool to_bool(const std::string& value, int line) {
+  if (value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  fail(line, "bad bool '" + value + "'");
+}
+
+std::vector<int> to_int_list(const std::string& value, int line) {
+  std::vector<int> out;
+  std::istringstream is(value);
+  std::string token;
+  while (is >> token) out.push_back(to_int(token, line));
+  return out;
+}
+
+}  // namespace
+
+MachineModel parse_machine(std::istream& in) {
+  MachineModel m;
+  std::string section;
+  std::string raw;
+  int line_no = 0;
+
+  // Dispatch table: (section, key) -> setter.
+  using Setter = std::function<void(const std::string&, int)>;
+  const std::map<std::pair<std::string, std::string>, Setter> setters = {
+      {{"machine", "name"}, [&](const std::string& v, int) { m.name = v; }},
+      {{"machine", "integrator"},
+       [&](const std::string& v, int) { m.integrator = v; }},
+      {{"machine", "core_arch"},
+       [&](const std::string& v, int) { m.core_arch = v; }},
+      {{"machine", "simd"}, [&](const std::string& v, int) { m.simd = v; }},
+      {{"machine", "cpu_name"},
+       [&](const std::string& v, int) { m.cpu_name = v; }},
+      {{"machine", "memory_tech"},
+       [&](const std::string& v, int) { m.memory_tech = v; }},
+      {{"machine", "nodes"},
+       [&](const std::string& v, int l) { m.num_nodes = to_int(v, l); }},
+
+      {{"core", "isa"},
+       [&](const std::string& v, int) { m.node.core.isa_name = v; }},
+      {{"core", "uarch"},
+       [&](const std::string& v, int l) {
+         m.node.core.uarch = uarch_from(v, l);
+       }},
+      {{"core", "freq_ghz"},
+       [&](const std::string& v, int l) {
+         m.node.core.freq_ghz = to_double(v, l);
+       }},
+      {{"core", "vector_bits"},
+       [&](const std::string& v, int l) {
+         m.node.core.vector_bits = to_int(v, l);
+       }},
+      {{"core", "fma_pipes"},
+       [&](const std::string& v, int l) {
+         m.node.core.fma_pipes = to_int(v, l);
+       }},
+      {{"core", "scalar_fma_per_cycle"},
+       [&](const std::string& v, int l) {
+         m.node.core.scalar_fma_per_cycle = to_int(v, l);
+       }},
+      {{"core", "fp16_vector"},
+       [&](const std::string& v, int l) {
+         m.node.core.fp16_vector = to_bool(v, l);
+       }},
+      {{"core", "ooo_scalar_efficiency"},
+       [&](const std::string& v, int l) {
+         m.node.core.ooo_scalar_efficiency = to_double(v, l);
+       }},
+      {{"core", "l1d_kb"},
+       [&](const std::string& v, int l) {
+         m.node.core.l1d_kb = to_int(v, l);
+       }},
+
+      {{"memory", "domains"},
+       [&](const std::string& v, int l) {
+         m.node.num_domains = to_int(v, l);
+       }},
+      {{"memory", "sockets"},
+       [&](const std::string& v, int l) { m.node.sockets = to_int(v, l); }},
+      {{"memory", "cores_per_domain"},
+       [&](const std::string& v, int l) {
+         m.node.domain.cores = to_int(v, l);
+       }},
+      {{"memory", "capacity_gb_per_domain"},
+       [&](const std::string& v, int l) {
+         m.node.domain.capacity_gb = to_double(v, l);
+       }},
+      {{"memory", "peak_bw_gbs_per_domain"},
+       [&](const std::string& v, int l) {
+         m.node.domain.peak_bw = to_double(v, l) * 1e9;
+       }},
+      {{"memory", "eff_ceiling"},
+       [&](const std::string& v, int l) {
+         m.node.domain.eff_ceiling = to_double(v, l);
+       }},
+      {{"memory", "single_thread_bw_gbs"},
+       [&](const std::string& v, int l) {
+         m.node.domain.single_thread_bw = to_double(v, l) * 1e9;
+       }},
+      {{"memory", "contention_decay"},
+       [&](const std::string& v, int l) {
+         m.node.domain.contention_decay = to_double(v, l);
+       }},
+      {{"memory", "single_process_cap_gbs"},
+       [&](const std::string& v, int l) {
+         m.node.single_process_bw_cap = to_double(v, l) * 1e9;
+       }},
+      {{"memory", "sp_thread_bw_gbs"},
+       [&](const std::string& v, int l) {
+         m.node.sp_thread_bw = to_double(v, l) * 1e9;
+       }},
+      {{"memory", "shm_bw_gbs"},
+       [&](const std::string& v, int l) {
+         m.node.shm_bw = to_double(v, l) * 1e9;
+       }},
+      {{"memory", "shm_latency_us"},
+       [&](const std::string& v, int l) {
+         m.node.shm_latency = to_double(v, l) * 1e-6;
+       }},
+      {{"memory", "l2_total_mb"},
+       [&](const std::string& v, int l) {
+         m.node.l2_total_mb = to_double(v, l);
+       }},
+      {{"memory", "l3_total_mb"},
+       [&](const std::string& v, int l) {
+         m.node.l3_total_mb = to_double(v, l);
+       }},
+
+      {{"interconnect", "name"},
+       [&](const std::string& v, int) { m.interconnect.name = v; }},
+      {{"interconnect", "kind"},
+       [&](const std::string& v, int l) {
+         m.interconnect.kind = kind_from(v, l);
+       }},
+      {{"interconnect", "dims"},
+       [&](const std::string& v, int l) {
+         m.interconnect.dims = to_int_list(v, l);
+       }},
+      {{"interconnect", "link_bw_gbs"},
+       [&](const std::string& v, int l) {
+         m.interconnect.link_bw = to_double(v, l) * 1e9;
+       }},
+      {{"interconnect", "eff_bw_factor"},
+       [&](const std::string& v, int l) {
+         m.interconnect.eff_bw_factor = to_double(v, l);
+       }},
+      {{"interconnect", "base_latency_us"},
+       [&](const std::string& v, int l) {
+         m.interconnect.base_latency_s = to_double(v, l) * 1e-6;
+       }},
+      {{"interconnect", "per_hop_latency_us"},
+       [&](const std::string& v, int l) {
+         m.interconnect.per_hop_latency_s = to_double(v, l) * 1e-6;
+       }},
+      {{"interconnect", "eager_threshold"},
+       [&](const std::string& v, int l) {
+         m.interconnect.eager_threshold =
+             static_cast<std::size_t>(to_int(v, l));
+       }},
+      {{"interconnect", "rendezvous_latency_us"},
+       [&](const std::string& v, int l) {
+         m.interconnect.rendezvous_latency_s = to_double(v, l) * 1e-6;
+       }},
+      {{"interconnect", "hop_bw_penalty"},
+       [&](const std::string& v, int l) {
+         m.interconnect.hop_bw_penalty = to_double(v, l);
+       }},
+      {{"interconnect", "long_dim_bw_penalty"},
+       [&](const std::string& v, int l) {
+         m.interconnect.long_dim_bw_penalty = to_double(v, l);
+       }},
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    // Strip comments (';' or '#').
+    const auto comment = line.find_first_of(";#");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(line_no, "unterminated section header");
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    const auto it = setters.find({section, key});
+    if (it == setters.end()) {
+      fail(line_no, "unknown key '" + section + "." + key + "'");
+    }
+    it->second(value, line_no);
+  }
+  return m;
+}
+
+MachineModel parse_machine_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_machine(is);
+}
+
+MachineModel load_machine_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw MachineParseError("cannot open machine file " + path);
+  MachineModel machine = parse_machine(in);
+  // Files describe complete machines; reject semantic nonsense up front
+  // (parse_machine itself allows partial descriptions for programmatic
+  // composition).
+  validate_or_throw(machine);
+  return machine;
+}
+
+void write_machine(std::ostream& out, const MachineModel& m) {
+  auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  out << "[machine]\n";
+  out << "name = " << m.name << "\n";
+  out << "integrator = " << m.integrator << "\n";
+  out << "core_arch = " << m.core_arch << "\n";
+  out << "simd = " << m.simd << "\n";
+  out << "cpu_name = " << m.cpu_name << "\n";
+  out << "memory_tech = " << m.memory_tech << "\n";
+  out << "nodes = " << m.num_nodes << "\n";
+  out << "\n[core]\n";
+  out << "isa = " << m.node.core.isa_name << "\n";
+  out << "uarch = " << uarch_name(m.node.core.uarch) << "\n";
+  out << "freq_ghz = " << num(m.node.core.freq_ghz) << "\n";
+  out << "vector_bits = " << m.node.core.vector_bits << "\n";
+  out << "fma_pipes = " << m.node.core.fma_pipes << "\n";
+  out << "scalar_fma_per_cycle = " << m.node.core.scalar_fma_per_cycle
+      << "\n";
+  out << "fp16_vector = " << (m.node.core.fp16_vector ? "true" : "false")
+      << "\n";
+  out << "ooo_scalar_efficiency = " << num(m.node.core.ooo_scalar_efficiency)
+      << "\n";
+  out << "l1d_kb = " << m.node.core.l1d_kb << "\n";
+  out << "\n[memory]\n";
+  out << "domains = " << m.node.num_domains << "\n";
+  out << "sockets = " << m.node.sockets << "\n";
+  out << "cores_per_domain = " << m.node.domain.cores << "\n";
+  out << "capacity_gb_per_domain = " << num(m.node.domain.capacity_gb)
+      << "\n";
+  out << "peak_bw_gbs_per_domain = " << num(m.node.domain.peak_bw / 1e9)
+      << "\n";
+  out << "eff_ceiling = " << num(m.node.domain.eff_ceiling) << "\n";
+  out << "single_thread_bw_gbs = "
+      << num(m.node.domain.single_thread_bw / 1e9) << "\n";
+  out << "contention_decay = " << num(m.node.domain.contention_decay) << "\n";
+  out << "single_process_cap_gbs = "
+      << num(m.node.single_process_bw_cap / 1e9) << "\n";
+  out << "sp_thread_bw_gbs = " << num(m.node.sp_thread_bw / 1e9) << "\n";
+  out << "shm_bw_gbs = " << num(m.node.shm_bw / 1e9) << "\n";
+  out << "shm_latency_us = " << num(m.node.shm_latency * 1e6) << "\n";
+  out << "l2_total_mb = " << num(m.node.l2_total_mb) << "\n";
+  out << "l3_total_mb = " << num(m.node.l3_total_mb) << "\n";
+  out << "\n[interconnect]\n";
+  out << "name = " << m.interconnect.name << "\n";
+  out << "kind = "
+      << (m.interconnect.kind == InterconnectSpec::Kind::kTorus ? "torus"
+                                                                : "fattree")
+      << "\n";
+  if (!m.interconnect.dims.empty()) {
+    out << "dims =";
+    for (int d : m.interconnect.dims) out << ' ' << d;
+    out << "\n";
+  }
+  out << "link_bw_gbs = " << num(m.interconnect.link_bw / 1e9) << "\n";
+  out << "eff_bw_factor = " << num(m.interconnect.eff_bw_factor) << "\n";
+  out << "base_latency_us = " << num(m.interconnect.base_latency_s * 1e6)
+      << "\n";
+  out << "per_hop_latency_us = "
+      << num(m.interconnect.per_hop_latency_s * 1e6) << "\n";
+  out << "eager_threshold = " << m.interconnect.eager_threshold << "\n";
+  out << "rendezvous_latency_us = "
+      << num(m.interconnect.rendezvous_latency_s * 1e6) << "\n";
+  out << "hop_bw_penalty = " << num(m.interconnect.hop_bw_penalty) << "\n";
+  out << "long_dim_bw_penalty = " << num(m.interconnect.long_dim_bw_penalty)
+      << "\n";
+}
+
+std::string machine_to_string(const MachineModel& machine) {
+  std::ostringstream os;
+  write_machine(os, machine);
+  return os.str();
+}
+
+void save_machine_file(const std::string& path, const MachineModel& machine) {
+  std::ofstream out(path);
+  if (!out) throw MachineParseError("cannot open machine file " + path);
+  write_machine(out, machine);
+}
+
+}  // namespace ctesim::arch

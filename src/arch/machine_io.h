@@ -1,0 +1,45 @@
+// Text serialization of machine models: an INI-style format so users can
+// define their own cluster in a file and run any ctesim experiment on it
+// without recompiling. write_machine() and parse_machine() round-trip.
+//
+//   [machine]
+//   name = MyCluster
+//   nodes = 64
+//   [core]
+//   uarch = a64fx          ; a64fx | skylake | generic
+//   freq_ghz = 2.2
+//   vector_bits = 512
+//   ...
+//   [interconnect]
+//   kind = torus           ; torus | fattree
+//   dims = 4 2 2 2 3 2
+//   link_bw_gbs = 6.8
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "arch/machine.h"
+
+namespace ctesim::arch {
+
+/// Thrown on malformed machine files with a line-tagged message.
+class MachineParseError : public std::runtime_error {
+ public:
+  explicit MachineParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Parse a machine description (INI format above). Unknown keys are an
+/// error; missing keys keep the default-constructed value.
+MachineModel parse_machine(std::istream& in);
+MachineModel parse_machine_string(const std::string& text);
+MachineModel load_machine_file(const std::string& path);
+
+/// Emit the INI representation (parse_machine(write_machine(m)) == m).
+void write_machine(std::ostream& out, const MachineModel& machine);
+std::string machine_to_string(const MachineModel& machine);
+void save_machine_file(const std::string& path, const MachineModel& machine);
+
+}  // namespace ctesim::arch

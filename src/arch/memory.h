@@ -1,0 +1,42 @@
+// NUMA-domain memory model: a Core Memory Group (CMG) on A64FX, a socket on
+// Skylake. Bandwidth follows a concurrency-limited saturation law — each
+// streaming thread contributes up to `single_thread_bw` until the domain's
+// effective ceiling is reached — which reproduces the thread-scaling shape
+// of Fig. 2 / Fig. 3.
+#pragma once
+
+#include "util/check.h"
+
+namespace ctesim::arch {
+
+struct MemoryDomainModel {
+  int cores = 0;                ///< cores attached to this domain
+  double capacity_gb = 0.0;     ///< local memory capacity
+  double peak_bw = 0.0;         ///< vendor peak, bytes/s
+  double eff_ceiling = 0.0;     ///< best sustainable fraction of peak [0,1]
+  double single_thread_bw = 0.0;  ///< one streaming thread, bytes/s
+  /// Relative throughput loss per thread beyond the saturation point
+  /// (oversubscribed prefetch/queue contention); 0 = flat plateau.
+  double contention_decay = 0.0;
+
+  /// Sustainable ceiling in bytes/s.
+  double ceiling_bw() const { return peak_bw * eff_ceiling; }
+
+  /// Achieved STREAM-like bandwidth with `threads` threads local to this
+  /// domain, all accessing local memory.
+  double achieved_bw(int threads) const {
+    CTESIM_EXPECTS(threads >= 0);
+    if (threads == 0) return 0.0;
+    const double linear = single_thread_bw * threads;
+    const double cap = ceiling_bw();
+    if (linear <= cap) return linear;
+    // Past saturation: plateau with mild decay per extra thread.
+    const double sat_threads = cap / single_thread_bw;
+    const double extra = static_cast<double>(threads) - sat_threads;
+    double bw = cap;
+    bw *= 1.0 - contention_decay * extra;
+    return bw > 0.0 ? bw : 0.0;
+  }
+};
+
+}  // namespace ctesim::arch

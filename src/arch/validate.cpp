@@ -1,0 +1,98 @@
+#include "arch/validate.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ctesim::arch {
+
+namespace {
+
+void check(std::vector<std::string>& problems, bool ok,
+           const std::string& message) {
+  if (!ok) problems.push_back(message);
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const MachineModel& m) {
+  std::vector<std::string> problems;
+
+  check(problems, !m.name.empty(), "machine.name: must not be empty");
+  check(problems, m.num_nodes >= 1, "machine.nodes: must be >= 1");
+
+  const CoreModel& core = m.node.core;
+  check(problems, core.freq_ghz > 0.0, "core.freq_ghz: must be positive");
+  check(problems, core.vector_bits >= 64 && core.vector_bits <= 4096,
+        "core.vector_bits: expected 64..4096");
+  check(problems, (core.vector_bits & (core.vector_bits - 1)) == 0,
+        "core.vector_bits: must be a power of two");
+  check(problems, core.fma_pipes >= 1, "core.fma_pipes: must be >= 1");
+  check(problems, core.scalar_fma_per_cycle >= 1,
+        "core.scalar_fma_per_cycle: must be >= 1");
+  check(problems,
+        core.ooo_scalar_efficiency > 0.0 && core.ooo_scalar_efficiency <= 1.0,
+        "core.ooo_scalar_efficiency: must be in (0, 1]");
+
+  const MemoryDomainModel& domain = m.node.domain;
+  check(problems, m.node.num_domains >= 1, "memory.domains: must be >= 1");
+  check(problems, domain.cores >= 1,
+        "memory.cores_per_domain: must be >= 1");
+  check(problems, domain.capacity_gb > 0.0,
+        "memory.capacity_gb_per_domain: must be positive");
+  check(problems, domain.peak_bw > 0.0,
+        "memory.peak_bw_gbs_per_domain: must be positive");
+  check(problems, domain.eff_ceiling > 0.0 && domain.eff_ceiling <= 1.0,
+        "memory.eff_ceiling: must be in (0, 1]");
+  check(problems, domain.single_thread_bw > 0.0,
+        "memory.single_thread_bw_gbs: must be positive");
+  check(problems, domain.single_thread_bw <= domain.peak_bw,
+        "memory.single_thread_bw_gbs: exceeds the domain peak");
+  check(problems,
+        domain.contention_decay >= 0.0 && domain.contention_decay < 0.1,
+        "memory.contention_decay: expected [0, 0.1)");
+  check(problems, m.node.shm_bw > 0.0, "memory.shm_bw_gbs: must be positive");
+  check(problems, m.node.shm_latency >= 0.0,
+        "memory.shm_latency_us: must be >= 0");
+
+  const InterconnectSpec& ic = m.interconnect;
+  check(problems, ic.link_bw > 0.0,
+        "interconnect.link_bw_gbs: must be positive");
+  check(problems, ic.eff_bw_factor > 0.0 && ic.eff_bw_factor <= 1.0,
+        "interconnect.eff_bw_factor: must be in (0, 1]");
+  check(problems, ic.base_latency_s >= 0.0,
+        "interconnect.base_latency_us: must be >= 0");
+  check(problems, ic.per_hop_latency_s >= 0.0,
+        "interconnect.per_hop_latency_us: must be >= 0");
+  check(problems, ic.hop_bw_penalty >= 0.0 && ic.hop_bw_penalty < 1.0,
+        "interconnect.hop_bw_penalty: must be in [0, 1)");
+  check(problems,
+        ic.long_dim_bw_penalty >= 0.0 && ic.long_dim_bw_penalty < 1.0,
+        "interconnect.long_dim_bw_penalty: must be in [0, 1)");
+  if (ic.kind == InterconnectSpec::Kind::kTorus) {
+    check(problems, !ic.dims.empty(),
+          "interconnect.dims: torus needs dimension sizes");
+    long total = 1;
+    bool dims_ok = true;
+    for (int d : ic.dims) {
+      if (d < 1) dims_ok = false;
+      total *= d;
+    }
+    check(problems, dims_ok, "interconnect.dims: every size must be >= 1");
+    if (dims_ok) {
+      check(problems, total >= m.num_nodes,
+            "interconnect.dims: torus smaller than machine.nodes");
+    }
+  }
+  return problems;
+}
+
+void validate_or_throw(const MachineModel& machine) {
+  const auto problems = validate(machine);
+  if (problems.empty()) return;
+  std::ostringstream os;
+  os << "invalid machine model '" << machine.name << "':";
+  for (const auto& p : problems) os << "\n  - " << p;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace ctesim::arch

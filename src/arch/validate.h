@@ -1,0 +1,20 @@
+// Semantic validation of machine models: catches nonsensical user-defined
+// machines (from machine files or code) before they produce NaNs or
+// contract violations deep inside a simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+
+namespace ctesim::arch {
+
+/// All problems found with `machine`, as human-readable messages prefixed
+/// by the offending field path (empty vector = valid).
+std::vector<std::string> validate(const MachineModel& machine);
+
+/// Throws std::invalid_argument listing every problem if any.
+void validate_or_throw(const MachineModel& machine);
+
+}  // namespace ctesim::arch

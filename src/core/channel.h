@@ -1,0 +1,83 @@
+// Asynchronous FIFO channel between simulated processes.
+//
+// `push` never blocks (unbounded queue — timing is modelled by the layers
+// above, not by backpressure here); `pop` suspends the caller until a value
+// is available. A push with receivers waiting hands the value directly to
+// the oldest waiter, so a later receiver can never steal an item from an
+// earlier one — wakeup order is FIFO and deterministic.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "core/engine.h"
+
+namespace ctesim::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(&engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Deliver a value; hands it to the oldest waiting receiver (resumed at
+  /// the current simulated time) or queues it.
+  void push(T value) {
+    if (!waiters_.empty()) {
+      Waiter* waiter = waiters_.front();
+      waiters_.pop_front();
+      waiter->value.emplace(std::move(value));
+      const auto handle = waiter->handle;
+      engine_->schedule_in(0, [handle] { handle.resume(); });
+      return;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t waiting_receivers() const { return waiters_.size(); }
+
+  /// Awaitable receive: `T v = co_await channel.pop();`
+  auto pop() {
+    struct [[nodiscard]] Awaiter {
+      Channel& channel;
+      Waiter waiter;
+
+      bool await_ready() const noexcept {
+        // Items can only be queued while no receiver waits, so a non-empty
+        // queue means we may take the front immediately.
+        return !channel.items_.empty();
+      }
+
+      void await_suspend(std::coroutine_handle<> h) {
+        waiter.handle = h;
+        channel.waiters_.push_back(&waiter);
+      }
+
+      T await_resume() {
+        if (waiter.value.has_value()) return std::move(*waiter.value);
+        CTESIM_EXPECTS(!channel.items_.empty());
+        T value = std::move(channel.items_.front());
+        channel.items_.pop_front();
+        return value;
+      }
+    };
+    return Awaiter{*this, Waiter{}};
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T> value;
+  };
+
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<Waiter*> waiters_;
+};
+
+}  // namespace ctesim::sim

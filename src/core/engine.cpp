@@ -1,0 +1,73 @@
+#include "core/engine.h"
+
+#include <utility>
+
+namespace ctesim::sim {
+
+Engine::~Engine() {
+  // Drop pending events (and the coroutine handles they capture) before the
+  // member destruction order tears down the coroutine frames themselves.
+  while (!queue_.empty()) queue_.pop();
+}
+
+void Engine::schedule_in(Time delay, std::function<void()> fn) {
+  CTESIM_EXPECTS(delay >= 0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Engine::schedule_at(Time t, std::function<void()> fn) {
+  CTESIM_EXPECTS(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::spawn(Task<> task) {
+  CTESIM_EXPECTS(task.valid());
+  processes_.push_back(std::move(task));
+  auto handle = processes_.back().handle();
+  schedule_in(0, [handle] { handle.resume(); });
+}
+
+void Engine::dispatch(Event&& event) {
+  now_ = event.time;
+  ++events_processed_;
+  event.fn();
+}
+
+void Engine::check_failures() {
+  for (const auto& process : processes_) {
+    if (process.done()) process.rethrow_if_failed();
+  }
+}
+
+Time Engine::run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    dispatch(std::move(event));
+  }
+  check_failures();
+  return now_;
+}
+
+bool Engine::run_until(Time limit) {
+  CTESIM_EXPECTS(limit >= now_);
+  while (!queue_.empty() && queue_.top().time <= limit) {
+    Event event = queue_.top();
+    queue_.pop();
+    dispatch(std::move(event));
+  }
+  check_failures();
+  const bool drained = queue_.empty();
+  now_ = limit;
+  return drained;
+}
+
+std::size_t Engine::unfinished_processes() const {
+  std::size_t unfinished = 0;
+  for (const auto& process : processes_) {
+    if (!process.done()) ++unfinished;
+  }
+  return unfinished;
+}
+
+}  // namespace ctesim::sim

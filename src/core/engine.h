@@ -1,0 +1,95 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events at equal simulated time fire in
+// scheduling order (monotone sequence numbers break ties), so every run of a
+// given workload produces identical results — a hard requirement for
+// recording paper-vs-measured numbers in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/task.h"
+#include "core/time.h"
+
+namespace ctesim::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` picoseconds from now (delay >= 0).
+  void schedule_in(Time delay, std::function<void()> fn);
+
+  /// Schedule `fn` at absolute time `t` (t >= now()).
+  void schedule_at(Time t, std::function<void()> fn);
+
+  /// Start a coroutine process at the current simulated time. The engine
+  /// takes ownership of the coroutine frame; exceptions escaping the process
+  /// are rethrown from run().
+  void spawn(Task<> task);
+
+  /// Run until no events remain. Returns the final simulated time.
+  Time run();
+
+  /// Run until simulated time would exceed `limit`; remaining events stay
+  /// queued. Returns true if the event queue drained before the limit.
+  bool run_until(Time limit);
+
+  /// Awaitable: `co_await engine.delay(dt)` suspends the calling process for
+  /// `dt` picoseconds of simulated time.
+  auto delay(Time dt) {
+    struct Awaiter {
+      Engine& engine;
+      Time dt;
+      bool await_ready() const noexcept { return dt == 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine.schedule_in(dt, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    CTESIM_EXPECTS(dt >= 0);
+    return Awaiter{*this, dt};
+  }
+
+  /// Processes spawned but not yet finished — nonzero after run() means the
+  /// workload deadlocked (e.g. a receive with no matching send).
+  std::size_t unfinished_processes() const;
+
+  /// Total events dispatched so far (observability / perf tests).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+
+    // std::priority_queue is a max-heap; invert for earliest-first.
+    bool operator<(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void dispatch(Event&& event);
+  void check_failures();
+
+  // Declared before queue_ so pending events (which may hold coroutine
+  // handles) are destroyed before the coroutine frames they point into.
+  std::vector<Task<>> processes_;
+  std::priority_queue<Event> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace ctesim::sim

@@ -1,0 +1,119 @@
+// Synchronization primitives between simulated processes: a broadcast
+// Event and a counting Semaphore. Like everything in core, wakeups are
+// scheduled through the engine at the current simulated time so ordering
+// stays deterministic.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "core/engine.h"
+
+namespace ctesim::sim {
+
+/// One-shot broadcast event: waiters suspend until set() fires; waits after
+/// set() complete immediately. reset() re-arms it.
+class Event {
+ public:
+  explicit Event(Engine& engine) : engine_(&engine) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool is_set() const { return set_; }
+
+  /// Fire the event; all current waiters resume at the present time.
+  void set() {
+    set_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto handle : waiters) {
+      engine_->schedule_in(0, [handle] { handle.resume(); });
+    }
+  }
+
+  void reset() { set_ = false; }
+
+  auto wait() {
+    struct [[nodiscard]] Awaiter {
+      Event& event;
+      bool await_ready() const noexcept { return event.set_; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        event.waiters_.push_back(handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Engine* engine_;
+  bool set_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore: acquire() suspends while the count is zero; FIFO
+/// handoff to waiters (no barging), like Channel.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::int64_t initial)
+      : engine_(&engine), count_(initial) {
+    CTESIM_EXPECTS(initial >= 0);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::int64_t count() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+  /// Release one permit; hands it directly to the oldest waiter if any
+  /// (the permit never touches count_ in that case, so later acquirers
+  /// cannot steal it).
+  void release() {
+    if (!waiters_.empty()) {
+      Waiter* waiter = waiters_.front();
+      waiters_.pop_front();
+      waiter->granted = true;
+      const auto handle = waiter->handle;
+      engine_->schedule_in(0, [handle] { handle.resume(); });
+      return;
+    }
+    ++count_;
+  }
+
+  auto acquire() {
+    struct [[nodiscard]] Awaiter {
+      Semaphore& semaphore;
+      Waiter waiter;
+
+      bool await_ready() const noexcept {
+        return semaphore.count_ > 0 && semaphore.waiters_.empty();
+      }
+      void await_suspend(std::coroutine_handle<> handle) {
+        waiter.handle = handle;
+        semaphore.waiters_.push_back(&waiter);
+      }
+      void await_resume() noexcept {
+        // Ready path consumes a queued permit; the handoff path already
+        // received one directly from release().
+        if (!waiter.granted) {
+          --semaphore.count_;
+        }
+      }
+    };
+    return Awaiter{*this, Waiter{}};
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    bool granted = false;
+  };
+
+  Engine* engine_;
+  std::int64_t count_;
+  std::deque<Waiter*> waiters_;
+};
+
+}  // namespace ctesim::sim

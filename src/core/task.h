@@ -1,0 +1,176 @@
+// Coroutine task type for simulated processes.
+//
+// Task<T> is a lazy coroutine: creating it does nothing; it starts when
+// awaited (symmetric transfer) or when spawned onto an Engine. A finished
+// task resumes its awaiter, so `co_await subroutine()` composes naturally —
+// exactly how simulated MPI collectives are built from point-to-point calls.
+//
+// COMPILER CONSTRAINT (GCC 12): arguments passed to a coroutine invoked
+// inside a `co_await` expression must be trivially destructible or named
+// lvalues. GCC 12.2 miscompiles the destruction of non-trivially-
+// destructible temporaries (and by-value parameter copies) that cross the
+// coroutine boundary, corrupting the coroutine frame (verified with ASan;
+// fixed in later GCC). All ctesim coroutine APIs therefore take either
+// trivially-destructible values (ints, KernelSig) or std::span views.
+// tests/test_core.cpp pins the safe patterns.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ctesim::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto& promise = h.promise();
+    promise.done = true;
+    if (promise.continuation) return promise.continuation;
+    return std::noop_coroutine();
+  }
+
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+  bool done = false;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  // Storage without requiring default-constructible T.
+  alignas(T) unsigned char storage[sizeof(T)];
+  bool has_value = false;
+
+  Task<T> get_return_object();
+
+  template <typename U>
+  void return_value(U&& value) {
+    ::new (static_cast<void*>(storage)) T(std::forward<U>(value));
+    has_value = true;
+  }
+
+  T& value() {
+    CTESIM_EXPECTS(has_value);
+    return *reinterpret_cast<T*>(storage);
+  }
+
+  ~Promise() {
+    if (has_value) reinterpret_cast<T*>(storage)->~T();
+  }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() noexcept {}
+};
+
+}  // namespace detail
+
+/// An owning handle to a lazy coroutine computing a T.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle handle) : handle_(handle) {}
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.promise().done; }
+
+  /// Rethrow any exception the task finished with (no-op otherwise).
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  /// Releases ownership (used by Engine::spawn which manages lifetime).
+  Handle release() { return std::exchange(handle_, {}); }
+  Handle handle() const { return handle_; }
+
+  // --- awaitable interface: `co_await task` starts it and suspends the
+  //     caller until it completes. ---
+  struct Awaiter {
+    Handle handle;
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> awaiting) noexcept {
+      handle.promise().continuation = awaiting;
+      return handle;  // symmetric transfer into the child task
+    }
+
+    T await_resume() {
+      if (handle.promise().exception) {
+        std::rethrow_exception(handle.promise().exception);
+      }
+      if constexpr (!std::is_void_v<T>) {
+        return std::move(handle.promise().value());
+      }
+    }
+  };
+
+  Awaiter operator co_await() const& {
+    CTESIM_EXPECTS(valid());
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace ctesim::sim

@@ -1,0 +1,60 @@
+#include "hpcb/hpcg.h"
+
+#include <cmath>
+
+#include "arch/calibration.h"
+#include "util/check.h"
+
+namespace ctesim::hpcb {
+
+namespace calib = arch::calib;
+
+HpcgModel::HpcgModel(const arch::MachineModel& machine, HpcgConfig config)
+    : machine_(machine), config_(config) {
+  CTESIM_EXPECTS(config_.nx >= 16 && config_.ny >= 16 && config_.nz >= 16);
+  CTESIM_EXPECTS(config_.ranks_per_node >= 1);
+}
+
+double HpcgModel::bytes_per_flop() const {
+  return machine_.node.core.uarch == arch::MicroArch::kA64fx
+             ? calib::kHpcgBytesPerFlopA64fx
+             : calib::kHpcgBytesPerFlopSkx;
+}
+
+double HpcgModel::node_gflops(HpcgBuild build) const {
+  const bool a64fx = machine_.node.core.uarch == arch::MicroArch::kA64fx;
+  const double sustained_bw =
+      machine_.node.best_bw(machine_.node.core_count());
+  const double mem_eff =
+      a64fx ? calib::kHpcgOptMemEffA64fx : calib::kHpcgOptMemEffSkx;
+  double gf = sustained_bw * mem_eff / bytes_per_flop() / 1e9;
+  if (build == HpcgBuild::kVanilla) {
+    gf *= a64fx ? calib::kHpcgVanillaFactorA64fx
+                : calib::kHpcgVanillaFactorSkx;
+  }
+  return gf;
+}
+
+HpcgPoint HpcgModel::run(int nodes, HpcgBuild build) const {
+  CTESIM_EXPECTS(nodes >= 1 && nodes <= machine_.num_nodes);
+  const bool a64fx = machine_.node.core.uarch == arch::MicroArch::kA64fx;
+  // Halo exchanges + dot-product allreduces cost a few percent that grows
+  // ~logarithmically with the machine size; anchored at the paper's
+  // 192-node bars (CTE-Arm essentially flat, MN4 losing ~20%).
+  const double f192 =
+      a64fx ? calib::kHpcgScale192A64fx : calib::kHpcgScale192Skx;
+  const double scale =
+      nodes == 1 ? 1.0
+                 : 1.0 + (f192 - 1.0) * std::log(static_cast<double>(nodes)) /
+                             std::log(192.0);
+
+  HpcgPoint point;
+  point.nodes = nodes;
+  point.gflops_per_node = node_gflops(build) * scale;
+  point.gflops = point.gflops_per_node * nodes;
+  point.peak_fraction =
+      point.gflops * 1e9 / (machine_.node.peak_flops() * nodes);
+  return point;
+}
+
+}  // namespace ctesim::hpcb

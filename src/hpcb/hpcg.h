@@ -1,0 +1,50 @@
+// HPCG performance model for Fig. 7.
+//
+// HPCG is bandwidth-bound: the sustained rate per node is
+//   GF = sustained_bw * mem_eff(build) / effective_bytes_per_flop
+// where mem_eff comes from the compiler model (vanilla Fujitsu/Intel builds
+// vs vendor-optimized binaries) and the effective traffic per flop is a
+// per-machine constant reflecting the cache hierarchy (A64FX has no L3 and
+// re-streams operand vectors; Skylake's L2+L3 capture much of the reuse).
+// Multi-node scaling applies the halo/allreduce overhead of the rank grid.
+// The native mini-HPCG (kernels/multigrid.h) validates the numerics and
+// the flop accounting.
+#pragma once
+
+#include "arch/compiler.h"
+#include "arch/machine.h"
+
+namespace ctesim::hpcb {
+
+enum class HpcgBuild { kVanilla, kOptimized };
+
+struct HpcgConfig {
+  // The paper's run parameters: local grid per rank, one rank per core.
+  int nx = 48, ny = 88, nz = 88;
+  int ranks_per_node = 48;
+};
+
+struct HpcgPoint {
+  int nodes = 0;
+  double gflops = 0.0;         ///< aggregate
+  double gflops_per_node = 0.0;
+  double peak_fraction = 0.0;
+};
+
+class HpcgModel {
+ public:
+  HpcgModel(const arch::MachineModel& machine, HpcgConfig config = {});
+
+  HpcgPoint run(int nodes, HpcgBuild build) const;
+
+  /// Effective memory traffic per flop for this machine (see header note).
+  double bytes_per_flop() const;
+
+ private:
+  double node_gflops(HpcgBuild build) const;
+
+  arch::MachineModel machine_;
+  HpcgConfig config_;
+};
+
+}  // namespace ctesim::hpcb

@@ -1,0 +1,54 @@
+// LINPACK (HPL) performance model for Fig. 6.
+//
+// A per-block-step model of right-looking LU with the layout the paper
+// uses: N sized to 80% of aggregate memory, P x Q process grid (4 ranks per
+// node on CTE-Arm — one per CMG — and 1 rank per node on MareNostrum 4).
+// Per step: panel factorization (bandwidth/latency-bound), panel broadcast
+// along the process row, trailing DGEMM update, and row swaps along the
+// column; lookahead overlap hides a machine-dependent fraction of the
+// communication. The native LU in kernels/dense.h validates the numerics.
+#pragma once
+
+#include "arch/machine.h"
+#include "net/network.h"
+
+namespace ctesim::hpcb {
+
+struct HplConfig {
+  double mem_fraction = 0.80;  ///< problem size: >= 80% of total memory
+  int nb = 240;                ///< block size
+  /// Fraction of broadcast/swap communication hidden by lookahead.
+  /// Vendor HPL on TofuD overlaps nearly everything; the MN4 run is closer
+  /// to the reference implementation.
+  double comm_overlap = 0.7;
+  /// Per-node DGEMM efficiency of the vendor binary (fraction of peak).
+  double dgemm_efficiency = 0.9;
+  int ranks_per_node = 1;
+};
+
+/// Paper-faithful defaults for each machine.
+HplConfig hpl_config_for(const arch::MachineModel& machine);
+
+struct HplPoint {
+  int nodes = 0;
+  double n = 0.0;           ///< matrix order
+  int p = 0, q = 0;         ///< process grid
+  double time_s = 0.0;
+  double gflops = 0.0;
+  double efficiency = 0.0;  ///< fraction of theoretical peak
+};
+
+class HplModel {
+ public:
+  HplModel(const arch::MachineModel& machine, HplConfig config);
+
+  /// Predict one run on `nodes` full nodes.
+  HplPoint run(int nodes) const;
+
+ private:
+  arch::MachineModel machine_;
+  HplConfig config_;
+  net::Network network_;
+};
+
+}  // namespace ctesim::hpcb

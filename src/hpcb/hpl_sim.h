@@ -1,0 +1,28 @@
+// Discrete-event cross-validation of the HPL model.
+//
+// hpcb::HplModel (hpl.h) is a per-step analytic loop. This runner executes
+// the same algorithm as an actual simulated-MPI program — a P x Q grid of
+// coroutine ranks doing panel factorization, the panel broadcast along row
+// groups, row swaps along column groups, and the trailing update — sampling
+// every `step_stride`-th block step and scaling. Tests assert the two
+// agree, which pins the analytic model to the runtime's communication
+// semantics (and exercises Group collectives on a real pattern).
+#pragma once
+
+#include "arch/machine.h"
+#include "hpcb/hpl.h"
+
+namespace ctesim::hpcb {
+
+struct HplSimResult {
+  double time_s = 0.0;
+  double gflops = 0.0;
+  int steps_simulated = 0;
+};
+
+/// Run the DES version on `nodes` nodes. `step_stride` samples the block
+/// steps (1 = simulate every step; larger = faster, scaled).
+HplSimResult run_hpl_sim(const arch::MachineModel& machine, int nodes,
+                         const HplConfig& config, int step_stride = 16);
+
+}  // namespace ctesim::hpcb

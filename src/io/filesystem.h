@@ -1,0 +1,53 @@
+// Parallel filesystem model (Lustre/FEFS-style): striped object storage
+// targets behind a metadata server. Models the two write strategies that
+// matter for the paper's WRF experiment (Fig. 16):
+//   - gather-to-rank-0 serial write (what WRF does by default): the frame
+//     funnels through one node's NIC, then streams to as many OSTs as the
+//     stripe count covers;
+//   - parallel (MPI-IO style) write: all nodes write their slice, striping
+//     across every OST, metadata once.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/machine.h"
+
+namespace ctesim::io {
+
+struct FilesystemConfig {
+  int osts = 8;                  ///< object storage targets
+  double ost_bw = 0.5e9;         ///< sustained bytes/s per OST
+  int default_stripe_count = 4;  ///< stripes for a newly created file
+  double metadata_latency = 2.0e-3;  ///< open/create round trip, seconds
+};
+
+class FilesystemModel {
+ public:
+  FilesystemModel(FilesystemConfig config,
+                  const arch::InterconnectSpec& interconnect);
+
+  const FilesystemConfig& config() const { return config_; }
+
+  /// Aggregate bandwidth a write striped over `stripe_count` OSTs can
+  /// sustain (capped by the OST pool).
+  double stripe_bw(int stripe_count) const;
+
+  /// Serial frame write: gather `bytes` to one writer node over the
+  /// interconnect, then stream to the file's stripes.
+  double serial_write_seconds(std::uint64_t bytes) const;
+
+  /// Parallel write from `writers` nodes, each contributing an equal
+  /// slice, striped over all OSTs; injection is no bottleneck when many
+  /// writers share the load.
+  double parallel_write_seconds(std::uint64_t bytes, int writers) const;
+
+ private:
+  FilesystemConfig config_;
+  double injection_bw_;  ///< one node's NIC bandwidth toward the FS
+};
+
+/// The filesystem of the paper's systems (GPFS/FEFS-class, sized so that
+/// WRF's hourly frames cost "little", as Fig. 16 reports).
+FilesystemModel production_filesystem(const arch::MachineModel& machine);
+
+}  // namespace ctesim::io

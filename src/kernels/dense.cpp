@@ -1,0 +1,161 @@
+#include "kernels/dense.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ctesim::kernels {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c,
+                  std::size_t block) {
+  CTESIM_EXPECTS(a.cols() == b.rows());
+  CTESIM_EXPECTS(c.rows() == a.rows() && c.cols() == b.cols());
+  CTESIM_EXPECTS(block >= 1);
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t i0 = 0; i0 < m; i0 += block) {
+    const std::size_t i1 = std::min(i0 + block, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += block) {
+      const std::size_t p1 = std::min(p0 + block, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += block) {
+        const std::size_t j1 = std::min(j0 + block, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t p = p0; p < p1; ++p) {
+            const double aip = a.at(i, p);
+            for (std::size_t j = j0; j < j1; ++j) {
+              c.at(i, j) += aip * b.at(p, j);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Unblocked panel factorization of columns [k0, k1) acting on rows
+/// [k0, n). Returns false on a zero pivot.
+bool factor_panel(Matrix& a, std::vector<std::size_t>& pivots,
+                  std::size_t k0, std::size_t k1) {
+  const std::size_t n = a.rows();
+  for (std::size_t k = k0; k < k1; ++k) {
+    // Partial pivoting: largest |a(i,k)| for i >= k.
+    std::size_t piv = k;
+    double best = std::fabs(a.at(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(a.at(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best == 0.0) return false;
+    pivots[k] = piv;
+    if (piv != k) {
+      for (std::size_t j = 0; j < a.cols(); ++j) {
+        std::swap(a.at(k, j), a.at(piv, j));
+      }
+    }
+    const double inv = 1.0 / a.at(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      a.at(i, k) *= inv;
+      const double lik = a.at(i, k);
+      for (std::size_t j = k + 1; j < k1; ++j) {
+        a.at(i, j) -= lik * a.at(k, j);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool lu_factor(Matrix& a, std::vector<std::size_t>& pivots,
+               std::size_t block) {
+  CTESIM_EXPECTS(a.rows() == a.cols());
+  CTESIM_EXPECTS(block >= 1);
+  const std::size_t n = a.rows();
+  pivots.assign(n, 0);
+  for (std::size_t k0 = 0; k0 < n; k0 += block) {
+    const std::size_t k1 = std::min(k0 + block, n);
+    if (!factor_panel(a, pivots, k0, k1)) return false;
+    if (k1 == n) break;
+    // U block: solve L11 * U12 = A12 (unit lower triangular forward solve).
+    for (std::size_t k = k0; k < k1; ++k) {
+      for (std::size_t i = k + 1; i < k1; ++i) {
+        const double lik = a.at(i, k);
+        for (std::size_t j = k1; j < n; ++j) {
+          a.at(i, j) -= lik * a.at(k, j);
+        }
+      }
+    }
+    // Trailing update: A22 -= L21 * U12 (the DGEMM that dominates HPL).
+    for (std::size_t i = k1; i < n; ++i) {
+      for (std::size_t k = k0; k < k1; ++k) {
+        const double lik = a.at(i, k);
+        if (lik == 0.0) continue;
+        for (std::size_t j = k1; j < n; ++j) {
+          a.at(i, j) -= lik * a.at(k, j);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> lu_solve(const Matrix& lu,
+                             const std::vector<std::size_t>& pivots,
+                             std::vector<double> b) {
+  const std::size_t n = lu.rows();
+  CTESIM_EXPECTS(b.size() == n);
+  CTESIM_EXPECTS(pivots.size() == n);
+  // Apply the row interchanges in factorization order.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivots[k] != k) std::swap(b[k], b[pivots[k]]);
+  }
+  // Forward solve L y = Pb (unit diagonal).
+  for (std::size_t i = 1; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu.at(i, j) * b[j];
+    b[i] = sum;
+  }
+  // Back substitution U x = y.
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= lu.at(i, j) * b[j];
+    b[i] = sum / lu.at(i, i);
+  }
+  return b;
+}
+
+double hpl_residual(const Matrix& a, const std::vector<double>& x,
+                    const std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  CTESIM_EXPECTS(x.size() == n && b.size() == n);
+  double r_inf = 0.0;
+  double a_inf = 0.0;
+  double x_inf = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double ax = 0.0;
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      ax += a.at(i, j) * x[j];
+      row += std::fabs(a.at(i, j));
+    }
+    r_inf = std::max(r_inf, std::fabs(ax - b[i]));
+    a_inf = std::max(a_inf, row);
+    x_inf = std::max(x_inf, std::fabs(x[i]));
+  }
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double denom = a_inf * x_inf * static_cast<double>(n) * eps;
+  return denom > 0.0 ? r_inf / denom : 0.0;
+}
+
+}  // namespace ctesim::kernels

@@ -1,0 +1,61 @@
+#include "kernels/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace ctesim::kernels {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void bit_reverse_permute(std::vector<Complex>& data) {
+  const std::size_t n = data.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+void transform(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  CTESIM_EXPECTS(is_power_of_two(n));
+  bit_reverse_permute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<Complex>& data) { transform(data, /*inverse=*/false); }
+
+void ifft(std::vector<Complex>& data) { transform(data, /*inverse=*/true); }
+
+double fft_flops(std::size_t n) {
+  CTESIM_EXPECTS(is_power_of_two(n));
+  const double dn = static_cast<double>(n);
+  return 5.0 * dn * std::log2(dn);
+}
+
+}  // namespace ctesim::kernels

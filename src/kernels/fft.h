@@ -1,0 +1,29 @@
+// Radix-2 complex FFT — the transform at the heart of the OpenIFS spectral
+// method proxy (Figs. 14/15). Iterative Cooley-Tukey with bit-reversal
+// permutation; tests verify the forward/inverse round trip, Parseval's
+// identity and the transform of known signals.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace ctesim::kernels {
+
+using Complex = std::complex<double>;
+
+/// In-place forward FFT; size must be a power of two.
+void fft(std::vector<Complex>& data);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft(std::vector<Complex>& data);
+
+/// True if n is a power of two (and nonzero).
+bool is_power_of_two(std::size_t n);
+
+/// FLOP count of one radix-2 FFT of size n (the 5 n log2 n convention),
+/// used by the OpenIFS workload model so the simulated spectral transform
+/// charges the same work this kernel performs.
+double fft_flops(std::size_t n);
+
+}  // namespace ctesim::kernels

@@ -1,0 +1,80 @@
+#include "kernels/fma.h"
+
+#include <chrono>
+
+namespace ctesim::kernels {
+
+namespace {
+constexpr int kLanes = 16;  // > FMA latency x pipes on every current core
+constexpr double kMul64 = 1.0000000001;
+constexpr double kAdd64 = 1e-9;
+constexpr float kMul32 = 1.000001f;
+constexpr float kAdd32 = 1e-6f;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename T>
+struct Consts;
+template <>
+struct Consts<double> {
+  static constexpr double mul = kMul64;
+  static constexpr double add = kAdd64;
+};
+template <>
+struct Consts<float> {
+  static constexpr float mul = kMul32;
+  static constexpr float add = kAdd32;
+};
+
+template <typename T>
+FmaResult run(std::uint64_t iters) {
+  T acc[kLanes];
+  for (int i = 0; i < kLanes; ++i) acc[i] = T(0);
+  const T m = Consts<T>::mul;
+  const T c = Consts<T>::add;
+  const double t0 = now_seconds();
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    for (int i = 0; i < kLanes; ++i) {
+      acc[i] = acc[i] * m + c;  // independent FMA chains
+    }
+  }
+  const double t1 = now_seconds();
+  FmaResult r;
+  r.seconds = t1 - t0;
+  const double flops = 2.0 * kLanes * static_cast<double>(iters);
+  r.gflops = r.seconds > 0.0 ? flops / r.seconds / 1e9 : 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < kLanes; ++i) sum += static_cast<double>(acc[i]);
+  r.checksum = sum;
+  return r;
+}
+
+template <typename T>
+T expected_one_lane(std::uint64_t iters) {
+  // x_{n+1} = m x_n + c from x_0 = 0, evaluated iteratively in the same
+  // precision so it matches the kernel bit-for-bit.
+  T x = T(0);
+  const T m = Consts<T>::mul;
+  const T c = Consts<T>::add;
+  for (std::uint64_t i = 0; i < iters; ++i) x = x * m + c;
+  return x;
+}
+
+}  // namespace
+
+FmaResult fma_throughput_f64(std::uint64_t iters) { return run<double>(iters); }
+FmaResult fma_throughput_f32(std::uint64_t iters) { return run<float>(iters); }
+
+double fma_expected_checksum_f64(std::uint64_t iters) {
+  return kLanes * expected_one_lane<double>(iters);
+}
+
+float fma_expected_checksum_f32(std::uint64_t iters) {
+  return static_cast<float>(kLanes) * expected_one_lane<float>(iters);
+}
+
+}  // namespace ctesim::kernels

@@ -1,0 +1,29 @@
+// Native FPU throughput microkernel — the portable analogue of the paper's
+// FPU_uKernel (Section III-A): chains of independent fused multiply-adds,
+// enough accumulators to cover the FMA latency, no memory traffic in the
+// hot loop. The simulated Fig. 1 numbers come from arch::CoreModel; this
+// kernel provides the host-native measurement and the correctness anchor
+// (the result of the accumulation is checked in closed form).
+#pragma once
+
+#include <cstdint>
+
+namespace ctesim::kernels {
+
+struct FmaResult {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double checksum = 0.0;  ///< sum of accumulators, for verification
+};
+
+/// `iters` iterations over `kLanes` independent accumulators, two FP ops
+/// (mul+add) per accumulator per iteration: a[i] = a[i]*m + c.
+FmaResult fma_throughput_f64(std::uint64_t iters);
+FmaResult fma_throughput_f32(std::uint64_t iters);
+
+/// Expected checksum for given iteration count (closed form of the affine
+/// recurrence), used by tests.
+double fma_expected_checksum_f64(std::uint64_t iters);
+float fma_expected_checksum_f32(std::uint64_t iters);
+
+}  // namespace ctesim::kernels

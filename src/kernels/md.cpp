@@ -1,0 +1,186 @@
+#include "kernels/md.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ctesim::kernels {
+
+MdSystem::MdSystem(const MdConfig& config) : config_(config) {
+  CTESIM_EXPECTS(config.particles > 0);
+  CTESIM_EXPECTS(config.box > 2.0 * config.cutoff);
+  const std::size_t n = config.particles;
+  pos_.resize(n);
+  vel_.resize(n);
+  force_.resize(n);
+
+  // Simple-cubic lattice sized to hold all particles, lightly perturbed so
+  // forces are nonzero from step one.
+  const auto per_dim =
+      static_cast<std::size_t>(std::ceil(std::cbrt(static_cast<double>(n))));
+  const double spacing = config.box / static_cast<double>(per_dim);
+  Rng rng(config.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ix = i % per_dim;
+    const std::size_t iy = (i / per_dim) % per_dim;
+    const std::size_t iz = i / (per_dim * per_dim);
+    pos_[i] = {(ix + 0.5) * spacing + rng.uniform(-0.05, 0.05) * spacing,
+               (iy + 0.5) * spacing + rng.uniform(-0.05, 0.05) * spacing,
+               (iz + 0.5) * spacing + rng.uniform(-0.05, 0.05) * spacing};
+    vel_[i] = {rng.normal(0.0, 0.1), rng.normal(0.0, 0.1),
+               rng.normal(0.0, 0.1)};
+  }
+  // Remove net momentum so it stays ~0 (a conserved quantity we test).
+  Vec3 p{};
+  for (const auto& v : vel_) {
+    p.x += v.x;
+    p.y += v.y;
+    p.z += v.z;
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  for (auto& v : vel_) {
+    v.x -= p.x * inv;
+    v.y -= p.y * inv;
+    v.z -= p.z * inv;
+  }
+  compute_forces();
+}
+
+double MdSystem::minimum_image(double d) const {
+  if (d > 0.5 * config_.box) return d - config_.box;
+  if (d < -0.5 * config_.box) return d + config_.box;
+  return d;
+}
+
+void MdSystem::build_cells() {
+  cells_per_dim_ = std::max(3, static_cast<int>(config_.box / config_.cutoff));
+  const std::size_t ncells = static_cast<std::size_t>(cells_per_dim_) *
+                             cells_per_dim_ * cells_per_dim_;
+  cells_.assign(ncells, {});
+  const double cell_size = config_.box / cells_per_dim_;
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    auto clampc = [&](double x) {
+      int c = static_cast<int>(x / cell_size);
+      if (c < 0) c = 0;
+      if (c >= cells_per_dim_) c = cells_per_dim_ - 1;
+      return c;
+    };
+    const int cx = clampc(pos_[i].x);
+    const int cy = clampc(pos_[i].y);
+    const int cz = clampc(pos_[i].z);
+    const std::size_t cell =
+        (static_cast<std::size_t>(cz) * cells_per_dim_ + cy) * cells_per_dim_ +
+        cx;
+    cells_[cell].push_back(static_cast<std::int32_t>(i));
+  }
+}
+
+void MdSystem::compute_forces() {
+  build_cells();
+  for (auto& f : force_) f = {};
+  potential_ = 0.0;
+  pair_count_ = 0;
+  const double rc2 = config_.cutoff * config_.cutoff;
+  const int c = cells_per_dim_;
+  auto cell_at = [&](int x, int y, int z) {
+    const int wx = (x + c) % c;
+    const int wy = (y + c) % c;
+    const int wz = (z + c) % c;
+    return (static_cast<std::size_t>(wz) * c + wy) * c + wx;
+  };
+  for (int cz = 0; cz < c; ++cz) {
+    for (int cy = 0; cy < c; ++cy) {
+      for (int cx = 0; cx < c; ++cx) {
+        const auto& home = cells_[cell_at(cx, cy, cz)];
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const auto& other = cells_[cell_at(cx + dx, cy + dy, cz + dz)];
+              for (const std::int32_t i : home) {
+                for (const std::int32_t j : other) {
+                  if (j <= i) continue;  // each pair once
+                  const double rx = minimum_image(pos_[static_cast<std::size_t>(i)].x -
+                                                  pos_[static_cast<std::size_t>(j)].x);
+                  const double ry = minimum_image(pos_[static_cast<std::size_t>(i)].y -
+                                                  pos_[static_cast<std::size_t>(j)].y);
+                  const double rz = minimum_image(pos_[static_cast<std::size_t>(i)].z -
+                                                  pos_[static_cast<std::size_t>(j)].z);
+                  const double r2 = rx * rx + ry * ry + rz * rz;
+                  if (r2 >= rc2 || r2 == 0.0) continue;
+                  ++pair_count_;
+                  const double inv_r2 = 1.0 / r2;
+                  const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+                  // LJ with epsilon = sigma = 1.
+                  const double f_scalar =
+                      24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+                  potential_ += 4.0 * inv_r6 * (inv_r6 - 1.0);
+                  auto& fi = force_[static_cast<std::size_t>(i)];
+                  auto& fj = force_[static_cast<std::size_t>(j)];
+                  fi.x += f_scalar * rx;
+                  fi.y += f_scalar * ry;
+                  fi.z += f_scalar * rz;
+                  fj.x -= f_scalar * rx;
+                  fj.y -= f_scalar * ry;
+                  fj.z -= f_scalar * rz;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void MdSystem::step() {
+  const double dt = config_.dt;
+  const double half = 0.5 * dt;
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    vel_[i].x += half * force_[i].x;
+    vel_[i].y += half * force_[i].y;
+    vel_[i].z += half * force_[i].z;
+    auto wrap = [&](double x) {
+      if (x >= config_.box) return x - config_.box;
+      if (x < 0.0) return x + config_.box;
+      return x;
+    };
+    pos_[i].x = wrap(pos_[i].x + dt * vel_[i].x);
+    pos_[i].y = wrap(pos_[i].y + dt * vel_[i].y);
+    pos_[i].z = wrap(pos_[i].z + dt * vel_[i].z);
+  }
+  compute_forces();
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    vel_[i].x += half * force_[i].x;
+    vel_[i].y += half * force_[i].y;
+    vel_[i].z += half * force_[i].z;
+  }
+}
+
+std::uint64_t MdSystem::run(int n) {
+  std::uint64_t pairs = 0;
+  for (int i = 0; i < n; ++i) {
+    step();
+    pairs += pair_count_;
+  }
+  return pairs;
+}
+
+double MdSystem::kinetic_energy() const {
+  double e = 0.0;
+  for (const auto& v : vel_) {
+    e += 0.5 * (v.x * v.x + v.y * v.y + v.z * v.z);
+  }
+  return e;
+}
+
+double MdSystem::momentum_norm() const {
+  Vec3 p{};
+  for (const auto& v : vel_) {
+    p.x += v.x;
+    p.y += v.y;
+    p.z += v.z;
+  }
+  return std::sqrt(p.x * p.x + p.y * p.y + p.z * p.z);
+}
+
+}  // namespace ctesim::kernels

@@ -1,0 +1,68 @@
+// Mini-HPCG: symmetric Gauss-Seidel smoother and a geometric multigrid
+// V-cycle over the 27-point operator, used as the preconditioner of the
+// conjugate gradient — the exact algorithmic structure of the HPCG
+// benchmark (SpMV + SymGS + restriction/prolongation + MG-preconditioned
+// CG). This is the *native* implementation validating correctness; the
+// cluster-scale performance figures come from the model in src/hpcb.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernels/sparse.h"
+
+namespace ctesim::kernels {
+
+/// One forward + one backward Gauss-Seidel sweep: x <- SymGS(A, b, x).
+/// A must have nonzero diagonal entries.
+void symgs_sweep(const CsrMatrix& a, const std::vector<double>& b,
+                 std::vector<double>& x);
+
+/// Geometric multigrid hierarchy over nested nx/2^l grids (HPCG coarsening).
+class MultigridHierarchy {
+ public:
+  /// Builds `levels` grids starting at (nx, ny, nz); each dimension must be
+  /// divisible by 2^(levels-1).
+  MultigridHierarchy(int nx, int ny, int nz, int levels);
+
+  int levels() const { return static_cast<int>(grids_.size()); }
+  const CsrMatrix& matrix(int level) const { return grids_[level].a; }
+
+  /// One V-cycle applying `pre`+`post` SymGS sweeps per level:
+  /// z = Vcycle(A, r) — the HPCG preconditioner (HPCG uses 1 pre, 1 post).
+  void v_cycle(const std::vector<double>& r, std::vector<double>& z) const;
+
+  /// Injection restriction (fine -> coarse), as HPCG does.
+  void restrict_to(int fine_level, const std::vector<double>& fine,
+                   std::vector<double>& coarse) const;
+
+  /// Prolongation by injection add (coarse -> fine), as HPCG does.
+  void prolong_add(int fine_level, const std::vector<double>& coarse,
+                   std::vector<double>& fine) const;
+
+ private:
+  struct Grid {
+    int nx, ny, nz;
+    CsrMatrix a;
+    /// fine index of each coarse point (2x coarsening, even coordinates)
+    std::vector<std::size_t> fine_of_coarse;
+  };
+
+  void cycle_level(int level, const std::vector<double>& r,
+                   std::vector<double>& z) const;
+
+  std::vector<Grid> grids_;
+};
+
+struct HpcgResult {
+  int iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+  double flops = 0.0;  ///< total FP operations (HPCG-style accounting)
+};
+
+/// Full mini-HPCG run: MG-preconditioned CG on the 27-point problem.
+HpcgResult run_mini_hpcg(int nx, int ny, int nz, int max_iters,
+                         double tolerance);
+
+}  // namespace ctesim::kernels

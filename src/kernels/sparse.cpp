@@ -1,0 +1,140 @@
+#include "kernels/sparse.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ctesim::kernels {
+
+void spmv(const CsrMatrix& a, const std::vector<double>& x,
+          std::vector<double>& y) {
+  CTESIM_EXPECTS(x.size() >= a.rows);
+  y.resize(a.rows);
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    double sum = 0.0;
+    for (std::int64_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      sum += a.val[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(k)])];
+    }
+    y[i] = sum;
+  }
+}
+
+namespace {
+
+CsrMatrix build_box_stencil(int nx, int ny, int nz, bool full27) {
+  CTESIM_EXPECTS(nx >= 1 && ny >= 1 && nz >= 1);
+  CsrMatrix a;
+  const std::size_t n =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+      static_cast<std::size_t>(nz);
+  a.rows = n;
+  a.row_ptr.reserve(n + 1);
+  a.row_ptr.push_back(0);
+  const double diag = full27 ? 26.0 : 6.0;
+  auto index = [&](int ix, int iy, int iz) {
+    return (static_cast<std::int64_t>(iz) * ny + iy) * nx + ix;
+  };
+  for (int iz = 0; iz < nz; ++iz) {
+    for (int iy = 0; iy < ny; ++iy) {
+      for (int ix = 0; ix < nx; ++ix) {
+        // Neighbors first, then insert the diagonal in column order.
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (!full27 && std::abs(dx) + std::abs(dy) + std::abs(dz) != 1 &&
+                  !(dx == 0 && dy == 0 && dz == 0)) {
+                continue;
+              }
+              const int jx = ix + dx;
+              const int jy = iy + dy;
+              const int jz = iz + dz;
+              if (jx < 0 || jx >= nx || jy < 0 || jy >= ny || jz < 0 ||
+                  jz >= nz) {
+                continue;
+              }
+              const bool is_diag = dx == 0 && dy == 0 && dz == 0;
+              a.col.push_back(static_cast<std::int32_t>(index(jx, jy, jz)));
+              a.val.push_back(is_diag ? diag : -1.0);
+            }
+          }
+        }
+        a.row_ptr.push_back(static_cast<std::int64_t>(a.col.size()));
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+CsrMatrix build_poisson27(int nx, int ny, int nz) {
+  return build_box_stencil(nx, ny, nz, /*full27=*/true);
+}
+
+CsrMatrix build_poisson7(int nx, int ny, int nz) {
+  return build_box_stencil(nx, ny, nz, /*full27=*/false);
+}
+
+double dot(const std::vector<double>& x, const std::vector<double>& y) {
+  CTESIM_EXPECTS(x.size() == y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  CTESIM_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm2(const std::vector<double>& x) { return std::sqrt(dot(x, x)); }
+
+CgResult conjugate_gradient(
+    const CsrMatrix& a, const std::vector<double>& b, std::vector<double>& x,
+    int max_iters, double tolerance,
+    const std::function<void(const std::vector<double>&,
+                             std::vector<double>&)>& precond) {
+  CTESIM_EXPECTS(b.size() == a.rows);
+  x.assign(a.rows, 0.0);
+  std::vector<double> r = b;  // r = b - A*0
+  std::vector<double> z(a.rows);
+  if (precond) {
+    precond(r, z);
+  } else {
+    z = r;
+  }
+  std::vector<double> p = z;
+  std::vector<double> ap(a.rows);
+  double rz = dot(r, z);
+  const double b_norm = norm2(b);
+  const double target = tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+  CgResult result;
+  for (int it = 0; it < max_iters; ++it) {
+    spmv(a, p, ap);
+    const double p_ap = dot(p, ap);
+    CTESIM_ENSURES(p_ap > 0.0);  // A must be s.p.d.
+    const double alpha = rz / p_ap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    result.iterations = it + 1;
+    result.residual_norm = norm2(r);
+    if (result.residual_norm <= target) {
+      result.converged = true;
+      return result;
+    }
+    if (precond) {
+      precond(r, z);
+    } else {
+      z = r;
+    }
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
+}  // namespace ctesim::kernels

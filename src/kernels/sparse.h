@@ -1,0 +1,54 @@
+// Sparse kernels: CSR storage, SpMV, and conjugate gradient — the numeric
+// core of HPCG (Fig. 7) and of the Alya solver phase (Fig. 10).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ctesim::kernels {
+
+/// Compressed sparse row matrix (double values, 32-bit column indices —
+/// the layout whose traffic the roofline spmv signature counts).
+struct CsrMatrix {
+  std::size_t rows = 0;
+  std::vector<std::int64_t> row_ptr;  // rows+1 entries
+  std::vector<std::int32_t> col;
+  std::vector<double> val;
+
+  std::size_t nnz() const { return val.size(); }
+};
+
+/// y = A x.
+void spmv(const CsrMatrix& a, const std::vector<double>& x,
+          std::vector<double>& y);
+
+/// 27-point operator on an nx x ny x nz grid: diagonal 26, off-diagonals -1
+/// (the HPCG problem). Rows at the boundary have fewer neighbors.
+CsrMatrix build_poisson27(int nx, int ny, int nz);
+
+/// 7-point operator (diagonal 6, off-diagonal -1) — the classic Poisson
+/// stencil used by the Alya-solver proxy tests.
+CsrMatrix build_poisson7(int nx, int ny, int nz);
+
+struct CgResult {
+  int iterations = 0;
+  double residual_norm = 0.0;  ///< ||b - A x|| at exit
+  bool converged = false;
+};
+
+/// Conjugate gradient for s.p.d. A. `precond`, if provided, applies an
+/// approximate inverse: z = M^{-1} r (identity when empty).
+CgResult conjugate_gradient(
+    const CsrMatrix& a, const std::vector<double>& b, std::vector<double>& x,
+    int max_iters, double tolerance,
+    const std::function<void(const std::vector<double>&,
+                             std::vector<double>&)>& precond = {});
+
+// BLAS-1 helpers shared by the solvers.
+double dot(const std::vector<double>& x, const std::vector<double>& y);
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+double norm2(const std::vector<double>& x);
+
+}  // namespace ctesim::kernels

@@ -1,0 +1,69 @@
+#include "kernels/stencil.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ctesim::kernels {
+
+Grid3D::Grid3D(int nx, int ny, int nz, double value)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      data_(static_cast<std::size_t>(nx) * ny * nz, value) {
+  CTESIM_EXPECTS(nx >= 1 && ny >= 1 && nz >= 1);
+}
+
+double Grid3D::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Grid3D::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void diffusion_step(const Grid3D& in, Grid3D& out, double alpha) {
+  CTESIM_EXPECTS(in.nx() == out.nx() && in.ny() == out.ny() &&
+                 in.nz() == out.nz());
+  CTESIM_EXPECTS(alpha > 0.0 && alpha <= 1.0 / 6.0 + 1e-12);
+  const int nx = in.nx();
+  const int ny = in.ny();
+  const int nz = in.nz();
+  auto wrap = [](int i, int n) { return i < 0 ? n - 1 : (i >= n ? 0 : i); };
+  for (int z = 0; z < nz; ++z) {
+    const int zm = wrap(z - 1, nz);
+    const int zp = wrap(z + 1, nz);
+    for (int y = 0; y < ny; ++y) {
+      const int ym = wrap(y - 1, ny);
+      const int yp = wrap(y + 1, ny);
+      for (int x = 0; x < nx; ++x) {
+        const int xm = wrap(x - 1, nx);
+        const int xp = wrap(x + 1, nx);
+        const double center = in.at(x, y, z);
+        const double lap = in.at(xm, y, z) + in.at(xp, y, z) +
+                           in.at(x, ym, z) + in.at(x, yp, z) +
+                           in.at(x, y, zm) + in.at(x, y, zp) - 6.0 * center;
+        out.at(x, y, z) = center + alpha * lap;
+      }
+    }
+  }
+}
+
+void diffuse(Grid3D& grid, int steps, double alpha) {
+  CTESIM_EXPECTS(steps >= 0);
+  Grid3D other(grid.nx(), grid.ny(), grid.nz());
+  Grid3D* src = &grid;
+  Grid3D* dst = &other;
+  for (int s = 0; s < steps; ++s) {
+    diffusion_step(*src, *dst, alpha);
+    std::swap(src, dst);
+  }
+  if (src != &grid) grid = *src;
+}
+
+}  // namespace ctesim::kernels

@@ -1,0 +1,116 @@
+#include "kernels/stream.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ctesim::kernels {
+
+namespace {
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Stream::Stream(std::size_t elements)
+    : a_(elements, 1.0), b_(elements, 2.0), c_(elements, 0.0) {
+  CTESIM_EXPECTS(elements > 0);
+}
+
+double Stream::copy() {
+  const double t0 = now_seconds();
+  const std::size_t n = a_.size();
+  for (std::size_t i = 0; i < n; ++i) c_[i] = a_[i];
+  return now_seconds() - t0;
+}
+
+double Stream::scale() {
+  const double t0 = now_seconds();
+  const std::size_t n = a_.size();
+  for (std::size_t i = 0; i < n; ++i) b_[i] = kScalar * c_[i];
+  return now_seconds() - t0;
+}
+
+double Stream::add() {
+  const double t0 = now_seconds();
+  const std::size_t n = a_.size();
+  for (std::size_t i = 0; i < n; ++i) c_[i] = a_[i] + b_[i];
+  return now_seconds() - t0;
+}
+
+double Stream::triad() {
+  const double t0 = now_seconds();
+  const std::size_t n = a_.size();
+  for (std::size_t i = 0; i < n; ++i) a_[i] = b_[i] + kScalar * c_[i];
+  return now_seconds() - t0;
+}
+
+double Stream::triad_parallel(int threads) {
+  CTESIM_EXPECTS(threads >= 1);
+  const std::size_t n = a_.size();
+  const double t0 = now_seconds();
+  if (threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) a_[i] = b_[i] + kScalar * c_[i];
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t lo = n * static_cast<std::size_t>(t) /
+                             static_cast<std::size_t>(threads);
+      const std::size_t hi = n * (static_cast<std::size_t>(t) + 1) /
+                             static_cast<std::size_t>(threads);
+      workers.emplace_back([this, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i) {
+          a_[i] = b_[i] + kScalar * c_[i];
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  return now_seconds() - t0;
+}
+
+double Stream::run_and_verify(int times) {
+  CTESIM_EXPECTS(times >= 1);
+  for (int k = 0; k < times; ++k) {
+    copy();
+    scale();
+    add();
+    triad();
+  }
+  return verify_after(times);
+}
+
+double Stream::verify_after(int times) const {
+  CTESIM_EXPECTS(times >= 1);
+  // Reproduce stream.c's scalar recurrence for the expected values.
+  double ea = 1.0;
+  double eb = 2.0;
+  double ec = 0.0;
+  for (int k = 0; k < times; ++k) {
+    ec = ea;
+    eb = kScalar * ec;
+    ec = ea + eb;
+    ea = eb + kScalar * ec;
+  }
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < a_.size(); ++i) {
+    max_rel = std::max(max_rel, std::fabs((a_[i] - ea) / ea));
+    max_rel = std::max(max_rel, std::fabs((b_[i] - eb) / eb));
+    max_rel = std::max(max_rel, std::fabs((c_[i] - ec) / ec));
+  }
+  return max_rel;
+}
+
+double Stream::bandwidth(std::size_t bytes_per_elem, double seconds) const {
+  CTESIM_EXPECTS(seconds > 0.0);
+  return static_cast<double>(bytes_per_elem) *
+         static_cast<double>(elements()) / seconds;
+}
+
+}  // namespace ctesim::kernels

@@ -1,0 +1,54 @@
+// Native STREAM kernels (McCalpin): real arrays, real bytes moved on the
+// host. Used by the unit tests (correctness of each kernel), the native
+// google-benchmark suite, and as ground truth that the simulated STREAM
+// (mem/stream_sim.h) and the native loops agree on bytes/element.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ctesim::kernels {
+
+class Stream {
+ public:
+  /// Allocates the three arrays with STREAM's canonical initial values
+  /// (a=1, b=2, c=0).
+  explicit Stream(std::size_t elements);
+
+  std::size_t elements() const { return a_.size(); }
+
+  // The four kernels; each returns elapsed seconds.
+  double copy();   ///< c = a
+  double scale();  ///< b = s*c
+  double add();    ///< c = a + b
+  double triad();  ///< a = b + s*c
+
+  /// Runs the canonical sequence copy/scale/add/triad `times` times and
+  /// verifies the arrays against the closed-form expected values, exactly
+  /// as stream.c's checkSTREAMresults does. Returns the max relative error.
+  double run_and_verify(int times);
+
+  /// Verify (without running) that the arrays hold the values expected
+  /// after `times` canonical iterations. Lets callers substitute their own
+  /// kernel variant (e.g. triad_parallel) for one of the steps.
+  double verify_after(int times) const;
+
+  /// Bandwidth in bytes/s for a kernel that moved `bytes_per_elem` per
+  /// element in `seconds`.
+  double bandwidth(std::size_t bytes_per_elem, double seconds) const;
+
+  /// Triad with `threads` std::thread workers on disjoint partitions (the
+  /// OpenMP-parallel STREAM of the paper, portably). Returns elapsed
+  /// seconds; results stay verifiable by run_and_verify's closed form if
+  /// the canonical sequence is respected by the caller.
+  double triad_parallel(int threads);
+
+  static constexpr double kScalar = 3.0;
+
+ private:
+  std::vector<double> a_;
+  std::vector<double> b_;
+  std::vector<double> c_;
+};
+
+}  // namespace ctesim::kernels

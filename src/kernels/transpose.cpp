@@ -1,0 +1,72 @@
+#include "kernels/transpose.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ctesim::kernels {
+
+void transpose_blocked(const std::vector<double>& in, std::size_t rows,
+                       std::size_t cols, std::vector<double>& out,
+                       std::size_t block) {
+  CTESIM_EXPECTS(in.size() == rows * cols);
+  CTESIM_EXPECTS(block >= 1);
+  out.resize(rows * cols);
+  for (std::size_t i0 = 0; i0 < rows; i0 += block) {
+    const std::size_t i1 = std::min(i0 + block, rows);
+    for (std::size_t j0 = 0; j0 < cols; j0 += block) {
+      const std::size_t j1 = std::min(j0 + block, cols);
+      for (std::size_t i = i0; i < i1; ++i) {
+        for (std::size_t j = j0; j < j1; ++j) {
+          out[j * rows + i] = in[i * cols + j];
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Column range [lo, hi) owned by `part` of `parts` (balanced split).
+void column_range(std::size_t cols, std::size_t parts, std::size_t part,
+                  std::size_t* lo, std::size_t* hi) {
+  CTESIM_EXPECTS(parts >= 1 && part < parts);
+  *lo = cols * part / parts;
+  *hi = cols * (part + 1) / parts;
+}
+
+}  // namespace
+
+void pack_columns(const std::vector<double>& in, std::size_t rows,
+                  std::size_t cols, std::size_t parts, std::size_t part,
+                  std::vector<double>& out) {
+  CTESIM_EXPECTS(in.size() == rows * cols);
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  column_range(cols, parts, part, &lo, &hi);
+  out.resize(rows * (hi - lo));
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      out[k++] = in[i * cols + j];
+    }
+  }
+}
+
+void unpack_columns(const std::vector<double>& in, std::size_t rows,
+                    std::size_t cols, std::size_t parts, std::size_t part,
+                    std::vector<double>& inout_matrix) {
+  CTESIM_EXPECTS(inout_matrix.size() == rows * cols);
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  column_range(cols, parts, part, &lo, &hi);
+  CTESIM_EXPECTS(in.size() == rows * (hi - lo));
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      inout_matrix[i * cols + j] = in[k++];
+    }
+  }
+}
+
+}  // namespace ctesim::kernels

@@ -1,0 +1,28 @@
+// Blocked matrix transpose — the local half of a spectral-model
+// transposition (the other half being the alltoall the OpenIFS proxy
+// charges to the network). Cache-blocked out-of-place transpose plus the
+// pack/unpack helpers a real transposition uses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ctesim::kernels {
+
+/// out[j * rows + i] = in[i * cols + j], cache-blocked.
+void transpose_blocked(const std::vector<double>& in, std::size_t rows,
+                       std::size_t cols, std::vector<double>& out,
+                       std::size_t block = 32);
+
+/// Gather the `part`-th of `parts` column groups of a row-major matrix
+/// into a contiguous send buffer (what gets handed to the alltoall).
+void pack_columns(const std::vector<double>& in, std::size_t rows,
+                  std::size_t cols, std::size_t parts, std::size_t part,
+                  std::vector<double>& out);
+
+/// Inverse of pack_columns.
+void unpack_columns(const std::vector<double>& in, std::size_t rows,
+                    std::size_t cols, std::size_t parts, std::size_t part,
+                    std::vector<double>& inout_matrix);
+
+}  // namespace ctesim::kernels

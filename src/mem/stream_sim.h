@@ -1,0 +1,54 @@
+// STREAM benchmark simulator (Figs. 2 and 3 of the paper).
+//
+// Predicts sustainable bandwidth for the four STREAM kernels under the two
+// parallelizations the paper measures:
+//   - OpenMP-only, one process, threads spread across NUMA domains (Fig. 2)
+//   - hybrid MPI+OpenMP, at most one process per NUMA domain (Fig. 3)
+// including the language (C / Fortran) effects the paper reports on each
+// machine. The native counterpart (actually moving bytes on the host) lives
+// in kernels/stream.h.
+#pragma once
+
+#include <cstddef>
+
+#include "arch/compiler.h"
+#include "arch/machine.h"
+
+namespace ctesim::mem {
+
+enum class StreamKernel { kCopy, kScale, kAdd, kTriad };
+
+const char* name_of(StreamKernel k);
+
+/// Bytes moved per loop iteration (8-byte doubles; write-allocate traffic
+/// not counted, matching how STREAM itself reports).
+std::size_t bytes_per_element(StreamKernel k);
+
+class StreamSimulator {
+ public:
+  explicit StreamSimulator(const arch::MachineModel& machine);
+
+  /// Fig. 2 setup: one process, `threads` OpenMP threads, spread binding.
+  /// Returns bytes/s as STREAM reports them.
+  double omp_bandwidth(StreamKernel kernel, int threads,
+                       arch::Language language) const;
+
+  /// Fig. 3 setup: `procs` MPI ranks (one per NUMA domain) × `threads`
+  /// OpenMP threads each.
+  double hybrid_bandwidth(StreamKernel kernel, int procs, int threads,
+                          arch::Language language) const;
+
+  /// Minimum array length per the paper's sizing rule
+  /// E >= max(1e7, 4*S/8) with S the last-level cache size in bytes.
+  std::size_t min_elements() const;
+
+  const arch::MachineModel& machine() const { return machine_; }
+
+ private:
+  double language_factor(arch::Language language, bool hybrid) const;
+  static double kernel_factor(StreamKernel k);
+
+  arch::MachineModel machine_;
+};
+
+}  // namespace ctesim::mem

@@ -1,0 +1,82 @@
+#include "net/congestion.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ctesim::net {
+
+CongestionModel::CongestionModel(const Network& network)
+    : network_(&network) {}
+
+std::vector<LinkId> CongestionModel::route(int src, int dst) const {
+  CTESIM_EXPECTS(src != dst);
+  std::vector<LinkId> links;
+  const Topology& topology = network_->topology();
+  if (const auto* torus = dynamic_cast<const TorusTopology*>(&topology)) {
+    // Dimension-order routing: walk each dimension along the shorter wrap
+    // direction, emitting the departing link of every intermediate node.
+    auto here = torus->coordinates(src);
+    const auto there = torus->coordinates(dst);
+    const auto& dims = torus->dims();
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      while (here[d] != there[d]) {
+        const int n = dims[d];
+        const int forward = (there[d] - here[d] + n) % n;
+        const int dir = forward <= n - forward ? +1 : -1;
+        links.push_back(LinkId{
+            static_cast<std::int32_t>(torus->node_at(here)),
+            static_cast<std::int16_t>(d), static_cast<std::int16_t>(dir)});
+        here[d] = (here[d] + dir + n) % n;
+      }
+    }
+  } else {
+    // Fat-tree: the shared resources are each endpoint's up/down links.
+    links.push_back(LinkId{static_cast<std::int32_t>(src), 0, +1});
+    links.push_back(LinkId{static_cast<std::int32_t>(dst), 0, -1});
+  }
+  CTESIM_ENSURES(!links.empty());
+  return links;
+}
+
+sim::Time CongestionModel::transfer_at(int src, int dst, std::uint64_t bytes,
+                                       sim::Time now) {
+  // Base (contention-free) behaviour provides latency and the effective
+  // per-link occupancy; congestion adds waiting for busy links.
+  const Transfer base = network_->transfer(src, dst, bytes);
+  const auto links = route(src, dst);
+  const auto& spec = network_->spec();
+  // Wire occupancy of the message on one link. The torus' first dimension
+  // (rack-spanning) runs slower, consistent with long_dim_bw_penalty.
+  const double link_bw = spec.link_bw * spec.eff_bw_factor;
+  const sim::Time occupancy =
+      sim::from_seconds(static_cast<double>(bytes) / link_bw);
+  const sim::Time long_occupancy = sim::from_seconds(
+      static_cast<double>(bytes) /
+      (link_bw * (1.0 - spec.long_dim_bw_penalty)));
+  const sim::Time per_hop = sim::from_seconds(spec.per_hop_latency_s);
+
+  sim::Time head = now + sim::from_seconds(spec.base_latency_s);
+  sim::Time tail = head;
+  sim::Time queued = 0;
+  for (const LinkId& link : links) {
+    sim::Time& busy = busy_until_[link];
+    const sim::Time start = std::max(head, busy);
+    queued += start - head;
+    const sim::Time occ = link.dim == 0 ? long_occupancy : occupancy;
+    busy = start + occ;
+    tail = std::max(tail, busy);
+    head = start + per_hop;  // cut-through: the head moves on per hop
+  }
+  queueing_s_ += sim::to_seconds(queued);
+  // The tail clears the last (or slowest) link then; never earlier than
+  // the contention-free end-to-end model.
+  return std::max(tail, now + sim::from_seconds(base.time_s));
+}
+
+void CongestionModel::reset() {
+  busy_until_.clear();
+  queueing_s_ = 0.0;
+}
+
+}  // namespace ctesim::net

@@ -1,0 +1,67 @@
+// Optional link-level congestion model.
+//
+// The base Network::transfer is contention-free (each transfer sees the
+// full link bandwidth). CongestionModel adds shared-link serialization: a
+// message occupies every directed link of its dimension-order route in
+// sequence, and a link busy with an earlier message delays later ones.
+// This captures the first-order effect of concurrent traffic (e.g. an
+// alltoall squeezing through the torus) without per-packet simulation.
+//
+// The model is stateful in simulated time: the MPI runtime passes the
+// current time of each injection and receives the arrival time back.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/time.h"
+#include "net/network.h"
+
+namespace ctesim::net {
+
+/// A directed link of the torus/fat-tree, identified by (node, dimension,
+/// direction) for tori and (node, level) for the fat-tree's up/down pair.
+struct LinkId {
+  std::int32_t node = 0;
+  std::int16_t dim = 0;
+  std::int16_t dir = 0;  ///< +1 / -1
+
+  bool operator==(const LinkId&) const = default;
+};
+
+struct LinkIdHash {
+  std::size_t operator()(const LinkId& link) const {
+    return (static_cast<std::size_t>(static_cast<std::uint32_t>(link.node))
+            << 20) ^
+           (static_cast<std::size_t>(static_cast<std::uint16_t>(link.dim))
+            << 4) ^
+           static_cast<std::size_t>(link.dir + 1);
+  }
+};
+
+class CongestionModel {
+ public:
+  explicit CongestionModel(const Network& network);
+
+  /// Arrival time of a message injected at `now`, accounting for the
+  /// busy state of every link along the route. Updates the link state.
+  sim::Time transfer_at(int src, int dst, std::uint64_t bytes, sim::Time now);
+
+  /// The directed links a message traverses (dimension-order routing on
+  /// tori; a stylized up/down pair on fat-trees).
+  std::vector<LinkId> route(int src, int dst) const;
+
+  /// Cumulative time messages spent queuing behind busy links.
+  double total_queueing_seconds() const { return queueing_s_; }
+
+  /// Forget all link state (e.g. between independent experiments).
+  void reset();
+
+ private:
+  const Network* network_;
+  std::unordered_map<LinkId, sim::Time, LinkIdHash> busy_until_;
+  double queueing_s_ = 0.0;
+};
+
+}  // namespace ctesim::net

@@ -1,0 +1,64 @@
+// Inter-node network: topology + LogGP-style transfer model + fault
+// injection. The model of one point-to-point transfer:
+//
+//   latency = base + hops * per_hop (+ rendezvous handshake above the eager
+//             threshold)
+//   bw      = link_bw * eff * (1 - hop_penalty)^hops * fault_factor * jitter
+//   time    = latency + bytes / bw
+//
+// Deterministic per-pair jitter (hash of the endpoints) stands in for the
+// static heterogeneity a production fabric shows (cable quality, adapter
+// binning) and gives Fig. 4/5 their realistic texture.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "arch/machine.h"
+#include "net/topology.h"
+
+namespace ctesim::net {
+
+/// One transfer's predicted behaviour.
+struct Transfer {
+  double time_s = 0.0;
+  double latency_s = 0.0;
+  double bandwidth = 0.0;  ///< effective bytes/s including latency
+  int hops = 0;
+  bool rendezvous = false;
+};
+
+class Network {
+ public:
+  /// Builds the topology described by `spec` for `num_nodes` nodes.
+  Network(const arch::InterconnectSpec& spec, int num_nodes);
+
+  const Topology& topology() const { return *topology_; }
+  const arch::InterconnectSpec& spec() const { return spec_; }
+  int num_nodes() const { return topology_->num_nodes(); }
+
+  /// Degrade the receive-side bandwidth of `node` by `factor` (0,1] —
+  /// models the weak node arms0b1-11c of Fig. 4, which underperforms only
+  /// as a receiver.
+  void set_recv_degradation(int node, double factor);
+
+  /// Remove all injected faults.
+  void clear_faults();
+
+  /// Amplitude of the deterministic per-pair bandwidth jitter (default 3%).
+  void set_jitter(double amplitude) { jitter_amplitude_ = amplitude; }
+
+  /// Predict one point-to-point transfer between two *different* nodes.
+  Transfer transfer(int src, int dst, std::uint64_t bytes) const;
+
+ private:
+  double pair_jitter(int src, int dst) const;
+
+  arch::InterconnectSpec spec_;
+  std::unique_ptr<Topology> topology_;
+  std::unordered_map<int, double> recv_degradation_;
+  double jitter_amplitude_ = 0.03;
+};
+
+}  // namespace ctesim::net

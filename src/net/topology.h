@@ -1,0 +1,68 @@
+// Interconnect topologies. The quantity the transfer model needs from a
+// topology is the hop count of the route between two nodes; TofuD uses
+// dimension-order shortest-path routing on a 6D torus, OmniPath a two-level
+// fat-tree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ctesim::net {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual int num_nodes() const = 0;
+
+  /// Hops traversed by a message from src to dst (0 for src == dst).
+  virtual int hops(int src, int dst) const = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+/// k-dimensional torus (TofuD: 6 dimensions X,Y,Z,a,b,c) with
+/// dimension-order minimal routing. Node indices map to coordinates in
+/// row-major order, matching how the CTE-Arm scheduler numbers nodes — this
+/// is what produces the diagonal banding of Fig. 4.
+class TorusTopology final : public Topology {
+ public:
+  explicit TorusTopology(std::vector<int> dims);
+
+  int num_nodes() const override { return total_; }
+  int hops(int src, int dst) const override;
+  std::string describe() const override;
+
+  /// Coordinates of a node (for tests and topology-aware placement).
+  std::vector<int> coordinates(int node) const;
+  int node_at(const std::vector<int>& coords) const;
+  const std::vector<int>& dims() const { return dims_; }
+
+  /// Hops traversed along one dimension of the route (shortest wrap).
+  int dim_distance(int src, int dst, std::size_t dim) const;
+
+ private:
+  std::vector<int> dims_;
+  int total_;
+};
+
+/// Two-level fat-tree: nodes on the same edge switch are 1 hop apart,
+/// otherwise the route climbs to a core switch (3 hops). Full bisection is
+/// assumed (OmniPath on MareNostrum 4 is close to it).
+class FatTreeTopology final : public Topology {
+ public:
+  FatTreeTopology(int num_nodes, int nodes_per_edge_switch);
+
+  int num_nodes() const override { return num_nodes_; }
+  int hops(int src, int dst) const override;
+  std::string describe() const override;
+
+  int edge_switch_of(int node) const;
+
+ private:
+  int num_nodes_;
+  int nodes_per_edge_switch_;
+};
+
+}  // namespace ctesim::net

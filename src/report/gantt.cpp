@@ -1,0 +1,75 @@
+#include "report/gantt.h"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+
+#include "util/check.h"
+#include "util/units.h"
+
+namespace ctesim::report {
+
+Gantt::Gantt(std::string title, const std::vector<mpi::TraceRecord>& trace,
+             int num_ranks, int width)
+    : title_(std::move(title)),
+      trace_(trace),
+      num_ranks_(num_ranks),
+      width_(width) {
+  CTESIM_EXPECTS(num_ranks >= 1);
+  CTESIM_EXPECTS(width >= 16);
+  for (const auto& r : trace_) {
+    CTESIM_EXPECTS(r.rank >= 0 && r.rank < num_ranks);
+    t_end_ = std::max(t_end_, r.end_s);
+  }
+}
+
+char Gantt::glyph_for(const char* kind) const {
+  if (std::strcmp(kind, "compute") == 0) return '#';
+  if (std::strcmp(kind, "send") == 0) return '>';
+  if (std::strcmp(kind, "recv") == 0) return '<';
+  return '?';
+}
+
+double Gantt::busy_fraction(int rank, const std::string& kind) const {
+  CTESIM_EXPECTS(rank >= 0 && rank < num_ranks_);
+  if (t_end_ <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const auto& r : trace_) {
+    if (r.rank == rank && kind == r.kind) {
+      busy += r.end_s - r.start_s;
+    }
+  }
+  return busy / t_end_;
+}
+
+void Gantt::print(std::ostream& os) const {
+  os << "-- " << title_ << " --\n";
+  if (t_end_ <= 0.0) {
+    os << "(empty trace)\n";
+    return;
+  }
+  os << "makespan " << units::format_seconds(t_end_)
+     << "; '#'=compute '>'=send '<'=recv\n";
+  for (int rank = 0; rank < num_ranks_; ++rank) {
+    std::string lane(static_cast<std::size_t>(width_), '.');
+    // Paint in trace order; later records overwrite (they are rarer and
+    // usually shorter, so communication stays visible over compute).
+    for (const auto& r : trace_) {
+      if (r.rank != rank) continue;
+      const int c0 = std::clamp(
+          static_cast<int>(r.start_s / t_end_ * width_), 0, width_ - 1);
+      const int c1 = std::clamp(
+          static_cast<int>(r.end_s / t_end_ * width_), c0, width_ - 1);
+      for (int c = c0; c <= c1; ++c) {
+        lane[static_cast<std::size_t>(c)] = glyph_for(r.kind);
+      }
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "r%-3d |", rank);
+    os << label << lane << "| compute "
+       << static_cast<int>(100.0 * busy_fraction(rank, "compute") + 0.5)
+       << "%\n";
+  }
+}
+
+}  // namespace ctesim::report

@@ -1,0 +1,40 @@
+// ASCII Gantt chart of a simulated-MPI execution trace: one lane per rank,
+// compute/send/recv intervals shaded differently. Gives the classic
+// "timeline view" (Paraver/Vampir style) for small simulations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simmpi/world.h"
+
+namespace ctesim::report {
+
+class Gantt {
+ public:
+  /// Builds the chart from a recorded trace (WorldOptions::trace = true).
+  /// `width` is the number of character columns for the time axis.
+  Gantt(std::string title, const std::vector<mpi::TraceRecord>& trace,
+        int num_ranks, int width = 72);
+
+  void print(std::ostream& os) const;
+
+  /// Fraction of the makespan rank `r` spent in records of `kind`
+  /// ("compute", "send", "recv") — the utilization numbers printed in the
+  /// legend, exposed for tests.
+  double busy_fraction(int rank, const std::string& kind) const;
+
+  double makespan() const { return t_end_; }
+
+ private:
+  char glyph_for(const char* kind) const;
+
+  std::string title_;
+  std::vector<mpi::TraceRecord> trace_;
+  int num_ranks_;
+  int width_;
+  double t_end_ = 0.0;
+};
+
+}  // namespace ctesim::report

@@ -1,0 +1,159 @@
+#include "report/plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace ctesim::report {
+
+namespace {
+constexpr char kMarkers[] = {'o', 'x', '+', '*', '#', '@', '%', '&'};
+constexpr char kShades[] = " .:-=+*#%@";
+constexpr int kNumShades = 10;
+}  // namespace
+
+LineChart::LineChart(std::string title, int width, int height)
+    : title_(std::move(title)), width_(width), height_(height) {
+  CTESIM_EXPECTS(width >= 16 && height >= 4);
+}
+
+void LineChart::set_axis_labels(std::string x, std::string y) {
+  x_label_ = std::move(x);
+  y_label_ = std::move(y);
+}
+
+void LineChart::series(const std::string& name, std::vector<double> xs,
+                       std::vector<double> ys) {
+  CTESIM_EXPECTS(xs.size() == ys.size());
+  CTESIM_EXPECTS(!xs.empty());
+  const char marker =
+      kMarkers[series_.size() % (sizeof(kMarkers) / sizeof(kMarkers[0]))];
+  series_.push_back(Series{name, std::move(xs), std::move(ys), marker});
+}
+
+void LineChart::print(std::ostream& os) const {
+  if (series_.empty()) {
+    os << title_ << ": (no data)\n";
+    return;
+  }
+  auto tx = [&](double x) { return log_x_ ? std::log10(x) : x; };
+  auto ty = [&](double y) { return log_y_ ? std::log10(y) : y; };
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = x_min;
+  double y_max = -x_min;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      x_min = std::min(x_min, tx(s.xs[i]));
+      x_max = std::max(x_max, tx(s.xs[i]));
+      y_min = std::min(y_min, ty(s.ys[i]));
+      y_max = std::max(y_max, ty(s.ys[i]));
+    }
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height_),
+                                  std::string(static_cast<std::size_t>(width_), ' '));
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double fx = (tx(s.xs[i]) - x_min) / (x_max - x_min);
+      const double fy = (ty(s.ys[i]) - y_min) / (y_max - y_min);
+      const int col = std::clamp(static_cast<int>(fx * (width_ - 1) + 0.5), 0,
+                                 width_ - 1);
+      const int row = std::clamp(
+          height_ - 1 - static_cast<int>(fy * (height_ - 1) + 0.5), 0,
+          height_ - 1);
+      canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          s.marker;
+    }
+  }
+
+  os << "-- " << title_ << " --\n";
+  char buf[64];
+  const double y_hi = log_y_ ? std::pow(10.0, y_max) : y_max;
+  const double y_lo = log_y_ ? std::pow(10.0, y_min) : y_min;
+  std::snprintf(buf, sizeof(buf), "%.4g", y_hi);
+  os << y_label_ << " (top=" << buf;
+  std::snprintf(buf, sizeof(buf), "%.4g", y_lo);
+  os << ", bottom=" << buf << (log_y_ ? ", log scale" : "") << ")\n";
+  for (const auto& line : canvas) {
+    os << '|' << line << '\n';
+  }
+  os << '+' << std::string(static_cast<std::size_t>(width_), '-') << "> "
+     << x_label_;
+  const double x_hi = log_x_ ? std::pow(10.0, x_max) : x_max;
+  const double x_lo = log_x_ ? std::pow(10.0, x_min) : x_min;
+  std::snprintf(buf, sizeof(buf), " [%.4g .. %.4g]", x_lo, x_hi);
+  os << buf << (log_x_ ? " (log)" : "") << '\n';
+  for (const auto& s : series_) {
+    os << "  " << s.marker << " = " << s.name << '\n';
+  }
+}
+
+Heatmap::Heatmap(std::string title, std::size_t rows, std::size_t cols)
+    : title_(std::move(title)),
+      rows_(rows),
+      cols_(cols),
+      values_(rows * cols, 0.0) {
+  CTESIM_EXPECTS(rows >= 1 && cols >= 1);
+}
+
+void Heatmap::set(std::size_t row, std::size_t col, double value) {
+  CTESIM_EXPECTS(row < rows_ && col < cols_);
+  values_[row * cols_ + col] = value;
+}
+
+double Heatmap::get(std::size_t row, std::size_t col) const {
+  CTESIM_EXPECTS(row < rows_ && col < cols_);
+  return values_[row * cols_ + col];
+}
+
+void Heatmap::print(std::ostream& os, std::size_t max_cells) const {
+  CTESIM_EXPECTS(max_cells >= 8);
+  const auto [lo_it, hi_it] =
+      std::minmax_element(values_.begin(), values_.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  const std::size_t block_r = (rows_ + max_cells - 1) / max_cells;
+  const std::size_t block_c = (cols_ + max_cells - 1) / max_cells;
+  const std::size_t out_r = (rows_ + block_r - 1) / block_r;
+  const std::size_t out_c = (cols_ + block_c - 1) / block_c;
+
+  os << "-- " << title_ << " --\n";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "scale: '%c'=%.4g .. '%c'=%.4g  (%zux%zu cells", kShades[0],
+                lo, kShades[kNumShades - 1], hi, rows_, cols_);
+  os << buf;
+  if (block_r > 1 || block_c > 1) {
+    os << ", shown as " << out_r << "x" << out_c << " max-pooled blocks";
+  }
+  os << ")\n";
+  for (std::size_t br = 0; br < out_r; ++br) {
+    os << '|';
+    for (std::size_t bc = 0; bc < out_c; ++bc) {
+      double block_max = -std::numeric_limits<double>::infinity();
+      for (std::size_t r = br * block_r;
+           r < std::min(rows_, (br + 1) * block_r); ++r) {
+        for (std::size_t c = bc * block_c;
+             c < std::min(cols_, (bc + 1) * block_c); ++c) {
+          block_max = std::max(block_max, values_[r * cols_ + c]);
+        }
+      }
+      const int shade = std::clamp(
+          static_cast<int>((block_max - lo) / span * (kNumShades - 1) + 0.5),
+          0, kNumShades - 1);
+      os << kShades[shade];
+    }
+    os << "|\n";
+  }
+}
+
+}  // namespace ctesim::report

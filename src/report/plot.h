@@ -1,0 +1,66 @@
+// ASCII visualizations for the figure harnesses: line charts (the
+// scalability figures), heatmaps (Fig. 4's all-pairs bandwidth map) and 2D
+// density maps (Fig. 5's bandwidth distribution).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ctesim::report {
+
+/// Multi-series scatter/line chart on a character grid. Optional log2/log10
+/// axes (the paper's scalability plots are log-log).
+class LineChart {
+ public:
+  LineChart(std::string title, int width = 72, int height = 20);
+
+  void set_log_x(bool on) { log_x_ = on; }
+  void set_log_y(bool on) { log_y_ = on; }
+  void set_axis_labels(std::string x, std::string y);
+
+  /// Add a series; each gets a distinct marker character.
+  void series(const std::string& name, std::vector<double> xs,
+              std::vector<double> ys);
+
+  void print(std::ostream& os) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+    char marker;
+  };
+
+  std::string title_;
+  std::string x_label_ = "x";
+  std::string y_label_ = "y";
+  int width_;
+  int height_;
+  bool log_x_ = false;
+  bool log_y_ = false;
+  std::vector<Series> series_;
+};
+
+/// Character-shaded heatmap of a dense matrix (row 0 printed at the top).
+class Heatmap {
+ public:
+  Heatmap(std::string title, std::size_t rows, std::size_t cols);
+
+  void set(std::size_t row, std::size_t col, double value);
+  double get(std::size_t row, std::size_t col) const;
+
+  /// Print with the value range mapped to " .:-=+*#%@"; each text cell is
+  /// the max of a block of matrix cells when the matrix exceeds the
+  /// terminal budget.
+  void print(std::ostream& os, std::size_t max_cells = 96) const;
+
+ private:
+  std::string title_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> values_;
+};
+
+}  // namespace ctesim::report

@@ -1,0 +1,93 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace ctesim::report {
+
+std::string fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  CTESIM_EXPECTS(!headers_.empty());
+}
+
+void Table::row(std::vector<std::string> cells) {
+  CTESIM_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::row(const std::string& label, const std::vector<double>& values,
+                int precision) {
+  CTESIM_EXPECTS(values.size() + 1 == headers_.size());
+  std::vector<std::string> cells;
+  cells.reserve(headers_.size());
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fixed(v, precision));
+  row(std::move(cells));
+}
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  CTESIM_EXPECTS(r < rows_.size() && c < headers_.size());
+  return rows_[r][c];
+}
+
+std::vector<std::size_t> Table::widths() const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    w[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      w[c] = std::max(w[c], r[c].size());
+    }
+  }
+  return w;
+}
+
+void Table::print(std::ostream& os) const {
+  const auto w = widths();
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      // Left-align the first column, right-align numerics.
+      if (c == 0) {
+        os << cells[c] << std::string(w[c] - cells[c].size(), ' ');
+      } else {
+        os << std::string(w[c] - cells[c].size(), ' ') << cells[c];
+      }
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < w.size(); ++c) total += w[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) line(r);
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  if (!title_.empty()) os << "### " << title_ << "\n\n";
+  os << '|';
+  for (const auto& h : headers_) os << ' ' << h << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? " --- |" : " ---: |");
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    os << '|';
+    for (const auto& cell : r) os << ' ' << cell << " |";
+    os << '\n';
+  }
+}
+
+}  // namespace ctesim::report

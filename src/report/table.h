@@ -1,0 +1,43 @@
+// Aligned-column text tables for the bench harnesses: every table/figure
+// binary prints its rows the way the paper reports them, plus optional
+// markdown for EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ctesim::report {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Append one row (must match the header count).
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: first cell label, remaining numeric with `precision`.
+  void row(const std::string& label, const std::vector<double>& values,
+           int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Render with box-drawing alignment.
+  void print(std::ostream& os) const;
+
+  /// Render as a GitHub-markdown table.
+  void print_markdown(std::ostream& os) const;
+
+ private:
+  std::vector<std::size_t> widths() const;
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper used across benches).
+std::string fixed(double value, int precision = 2);
+
+}  // namespace ctesim::report

@@ -1,0 +1,58 @@
+// Roofline-with-Amdahl execution-time model.
+//
+// Time for a kernel on `cores` cores of one node:
+//   t_compute = flops / (cores * blended_core_rate)
+//   t_memory  = bytes / (best_node_bw(cores) * mem_efficiency)
+//   t         = max(t_c, t_m) + (1 - overlap) * min(t_c, t_m)
+// where blended_core_rate harmonically mixes the vector and (OoO-derated)
+// scalar pipes by the *achieved* vectorization fraction — the quantity the
+// paper shows the compiler fails to deliver on A64FX.
+#pragma once
+
+#include "arch/compiler.h"
+#include "arch/machine.h"
+#include "roofline/kernel.h"
+
+namespace ctesim::roofline {
+
+struct Breakdown {
+  double compute_s = 0.0;
+  double memory_s = 0.0;
+  double total_s = 0.0;
+  double achieved_flops = 0.0;  ///< flops / total_s
+  double achieved_vectorization = 0.0;
+};
+
+class ExecModel {
+ public:
+  ExecModel(const arch::NodeModel& node, arch::CompilerModel compiler);
+
+  /// Effective FLOP/s of one core running this kernel.
+  double core_flop_rate(const KernelSig& sig) const;
+
+  /// Achieved memory bandwidth (bytes/s) for this kernel on `cores` cores.
+  double memory_bw(const KernelSig& sig, int cores) const;
+
+  /// Predicted time for `elems` elements on `cores` cores of one node
+  /// (the cores' own best bandwidth — a rank running alone on the node).
+  double time(const KernelSig& sig, double elems, int cores) const;
+
+  /// Full component breakdown (for ablation benches and tests).
+  Breakdown analyze(const KernelSig& sig, double elems, int cores) const;
+
+  /// Like analyze, but with an explicit raw bandwidth share (bytes/s,
+  /// before the kernel's mem_efficiency derating). Used by the simulated
+  /// MPI runtime: when every core of a node runs a rank, each rank gets
+  /// best_bw(node)/ranks_per_node, not a lone rank's bandwidth.
+  Breakdown analyze_shared(const KernelSig& sig, double elems, int cores,
+                           double raw_bw_share) const;
+
+  const arch::NodeModel& node() const { return node_; }
+  const arch::CompilerModel& compiler() const { return compiler_; }
+
+ private:
+  arch::NodeModel node_;
+  arch::CompilerModel compiler_;
+};
+
+}  // namespace ctesim::roofline

@@ -1,0 +1,38 @@
+// Kernel signature: the architecture-independent description of a
+// computational kernel (how much work per element, how vectorizable, how
+// much memory traffic). The execution model combines a signature with a
+// machine + compiler to predict time.
+#pragma once
+
+#include "arch/compiler.h"
+#include "arch/core_model.h"
+
+namespace ctesim::roofline {
+
+/// NOTE: KernelSig is deliberately trivially destructible (name is a
+/// `const char*`, expected to point at a string literal). Signatures are
+/// passed as temporaries into coroutines (`co_await rank.compute(sig, n)`),
+/// and GCC 12 miscompiles the destruction of non-trivially-destructible
+/// objects crossing a coroutine boundary inside a co_await expression (see
+/// the contract note in core/task.h).
+struct KernelSig {
+  const char* name = "";
+  arch::KernelClass cls = arch::KernelClass::kGeneric;
+  double flops_per_elem = 0.0;
+  double bytes_per_elem = 0.0;
+  /// Fraction of the FP work that is vectorizable *in principle* (data
+  /// layout and dependencies permitting); the compiler model decides how
+  /// much of it is actually vectorized.
+  double vec_potential = 1.0;
+  arch::Precision precision = arch::Precision::kDouble;
+  /// Compute/memory overlap [0,1]: 1 = perfect roofline overlap (streaming
+  /// kernels), 0 = fully serialized phases (latency-bound indirect access).
+  double overlap = 1.0;
+
+  /// Arithmetic intensity, FLOP per byte.
+  double intensity() const {
+    return bytes_per_elem > 0.0 ? flops_per_elem / bytes_per_elem : 1e30;
+  }
+};
+
+}  // namespace ctesim::roofline

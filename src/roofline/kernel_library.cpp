@@ -1,0 +1,115 @@
+#include "roofline/kernel_library.h"
+
+namespace ctesim::roofline::kernels {
+
+using arch::KernelClass;
+
+KernelSig stream_triad() {
+  return {.name = "stream-triad",
+          .cls = KernelClass::kStream,
+          .flops_per_elem = 2.0,
+          .bytes_per_elem = 24.0,
+          .vec_potential = 1.0,
+          .overlap = 1.0};
+}
+
+KernelSig stream_copy() {
+  return {.name = "stream-copy",
+          .cls = KernelClass::kStream,
+          .flops_per_elem = 0.0,
+          .bytes_per_elem = 16.0,
+          .vec_potential = 1.0,
+          .overlap = 1.0};
+}
+
+KernelSig stream_scale() {
+  return {.name = "stream-scale",
+          .cls = KernelClass::kStream,
+          .flops_per_elem = 1.0,
+          .bytes_per_elem = 16.0,
+          .vec_potential = 1.0,
+          .overlap = 1.0};
+}
+
+KernelSig stream_add() {
+  return {.name = "stream-add",
+          .cls = KernelClass::kStream,
+          .flops_per_elem = 1.0,
+          .bytes_per_elem = 24.0,
+          .vec_potential = 1.0,
+          .overlap = 1.0};
+}
+
+KernelSig dgemm() {
+  return {.name = "dgemm",
+          .cls = KernelClass::kDenseLinAlg,
+          .flops_per_elem = 2.0,   // one FMA per inner-product element
+          .bytes_per_elem = 0.5,   // blocked: ~0.25 B/flop
+          .vec_potential = 1.0,
+          .overlap = 1.0};
+}
+
+KernelSig spmv_csr() {
+  return {.name = "spmv-csr",
+          .cls = KernelClass::kSparseSolver,
+          .flops_per_elem = 2.0,    // per nonzero: multiply-add
+          .bytes_per_elem = 12.5,   // 8B value + 4B col + amortized vectors
+          .vec_potential = 0.85,
+          .overlap = 0.4};          // gather-bound, poor decoupling
+}
+
+KernelSig symgs() {
+  return {.name = "symgs",
+          .cls = KernelClass::kSparseSolver,
+          .flops_per_elem = 2.0,
+          .bytes_per_elem = 12.5,
+          .vec_potential = 0.40,    // dependency chains along the sweep
+          .overlap = 0.3};
+}
+
+KernelSig fem_assembly() {
+  return {.name = "fem-assembly",
+          .cls = KernelClass::kFemAssembly,
+          .flops_per_elem = 1.0,    // normalized: caller supplies flop count
+          .bytes_per_elem = 0.12,   // element data largely cache-resident
+          .vec_potential = 0.90,
+          .overlap = 0.7};
+}
+
+KernelSig md_nonbonded() {
+  return {.name = "md-nonbonded",
+          .cls = KernelClass::kMdNonbonded,
+          .flops_per_elem = 45.0,   // per pair: r2, rinv, force, accumulate
+          .bytes_per_elem = 9.0,    // neighbor-list gathers, cache-friendly
+          .vec_potential = 0.95,
+          .overlap = 0.7};
+}
+
+KernelSig stencil3d() {
+  return {.name = "stencil3d",
+          .cls = KernelClass::kStencil,
+          .flops_per_elem = 1.0,    // normalized per flop-unit, see apps
+          .bytes_per_elem = 0.45,   // planes cached, streaming writes
+          .vec_potential = 0.95,
+          .overlap = 0.8};
+}
+
+KernelSig spectral_transform() {
+  return {.name = "spectral-transform",
+          .cls = KernelClass::kSpectralTransform,
+          .flops_per_elem = 1.0,    // normalized: caller supplies N log N
+          .bytes_per_elem = 0.30,
+          .vec_potential = 0.85,
+          .overlap = 0.6};
+}
+
+KernelSig physics_column() {
+  return {.name = "physics-column",
+          .cls = KernelClass::kPhysics,
+          .flops_per_elem = 1.0,
+          .bytes_per_elem = 0.25,
+          .vec_potential = 0.30,    // branchy; little is vectorizable at all
+          .overlap = 0.6};
+}
+
+}  // namespace ctesim::roofline::kernels

@@ -1,0 +1,53 @@
+// Signatures of the standard kernels used by the benchmarks and application
+// proxies. Flop/byte counts are derived analytically from the kernels in
+// src/kernels (same loop bodies), so the simulated workloads and the native
+// code agree on the work per element.
+#pragma once
+
+#include "roofline/kernel.h"
+
+namespace ctesim::roofline::kernels {
+
+/// STREAM Triad: a[i] = b[i] + q*c[i]; 2 flops, 24 bytes per element.
+KernelSig stream_triad();
+
+/// STREAM Copy: a[i] = b[i]; 0 flops, 16 bytes.
+KernelSig stream_copy();
+
+/// STREAM Scale: a[i] = q*b[i]; 1 flop, 16 bytes.
+KernelSig stream_scale();
+
+/// STREAM Add: a[i] = b[i] + c[i]; 1 flop, 24 bytes.
+KernelSig stream_add();
+
+/// Blocked DGEMM update (HPL trailing matrix): element = one FMA, traffic
+/// amortized by blocking (~0.25 bytes/flop at typical NB).
+KernelSig dgemm();
+
+/// CSR SpMV, 27 nonzeros/row mesh: per nonzero 2 flops, ~12.5 bytes
+/// (8B value + 4B index + amortized x/y traffic).
+KernelSig spmv_csr();
+
+/// Symmetric Gauss-Seidel sweep (HPCG smoother): like SpMV but with
+/// forward+backward dependency chains (low overlap, low vec potential).
+KernelSig symgs();
+
+/// FEM element-matrix assembly (Alya): gather/scatter-heavy, high flops per
+/// element, indirect addressing limits vectorization.
+KernelSig fem_assembly();
+
+/// MD non-bonded pair forces (Gromacs reaction-field): ~45 flops/pair,
+/// neighbor-list gathers.
+KernelSig md_nonbonded();
+
+/// Structured-grid 3D stencil sweep (NEMO/WRF dynamics).
+KernelSig stencil3d();
+
+/// Spectral transform (OpenIFS FFT/Legendre): O(N log N) butterflies,
+/// strided access.
+KernelSig spectral_transform();
+
+/// Column physics parameterization (OpenIFS/WRF): branchy scalar Fortran.
+KernelSig physics_column();
+
+}  // namespace ctesim::roofline::kernels

@@ -1,0 +1,159 @@
+#include "sched/allocator.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace ctesim::sched {
+
+const char* name_of(Policy policy) {
+  switch (policy) {
+    case Policy::kContiguous:
+      return "contiguous";
+    case Policy::kLinear:
+      return "linear";
+    case Policy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+Allocator::Allocator(const net::TorusTopology& topology)
+    : topology_(&topology),
+      busy_(static_cast<std::size_t>(topology.num_nodes()), false) {}
+
+void Allocator::occupy(const std::vector<int>& nodes) {
+  for (int n : nodes) {
+    CTESIM_EXPECTS(n >= 0 && n < topology_->num_nodes());
+    CTESIM_EXPECTS(!busy_[static_cast<std::size_t>(n)]);
+    busy_[static_cast<std::size_t>(n)] = true;
+  }
+}
+
+void Allocator::release(const std::vector<int>& nodes) {
+  for (int n : nodes) {
+    CTESIM_EXPECTS(n >= 0 && n < topology_->num_nodes());
+    CTESIM_EXPECTS(busy_[static_cast<std::size_t>(n)]);
+    busy_[static_cast<std::size_t>(n)] = false;
+  }
+}
+
+int Allocator::free_nodes() const {
+  return static_cast<int>(std::count(busy_.begin(), busy_.end(), false));
+}
+
+bool Allocator::is_busy(int node) const {
+  CTESIM_EXPECTS(node >= 0 && node < topology_->num_nodes());
+  return busy_[static_cast<std::size_t>(node)];
+}
+
+std::vector<int> Allocator::allocate(int count, Policy policy,
+                                     std::uint64_t seed) {
+  CTESIM_EXPECTS(count >= 1);
+  if (count > free_nodes()) return {};
+  std::vector<int> nodes;
+  switch (policy) {
+    case Policy::kContiguous:
+      nodes = allocate_contiguous(count);
+      break;
+    case Policy::kLinear:
+      nodes = allocate_linear(count);
+      break;
+    case Policy::kRandom:
+      nodes = allocate_random(count, seed);
+      break;
+  }
+  CTESIM_ENSURES(static_cast<int>(nodes.size()) == count);
+  for (int n : nodes) busy_[static_cast<std::size_t>(n)] = true;
+  return nodes;
+}
+
+std::vector<int> Allocator::allocate_linear(int count) {
+  std::vector<int> nodes;
+  for (int n = 0; n < topology_->num_nodes() &&
+                  static_cast<int>(nodes.size()) < count;
+       ++n) {
+    if (!busy_[static_cast<std::size_t>(n)]) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+std::vector<int> Allocator::allocate_random(int count, std::uint64_t seed) {
+  std::vector<int> free;
+  for (int n = 0; n < topology_->num_nodes(); ++n) {
+    if (!busy_[static_cast<std::size_t>(n)]) free.push_back(n);
+  }
+  Rng rng(seed);
+  // Fisher-Yates prefix shuffle of the free list.
+  for (int i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(i, static_cast<std::int64_t>(free.size()) - 1));
+    std::swap(free[static_cast<std::size_t>(i)], free[j]);
+  }
+  free.resize(static_cast<std::size_t>(count));
+  std::sort(free.begin(), free.end());
+  return free;
+}
+
+std::vector<int> Allocator::allocate_contiguous(int count) {
+  // Grow a BFS ball around the best free seed; pick the seed whose ball
+  // has the smallest radius (cheap proxy for the scheduler's block
+  // placement). To stay O(nodes^2) at worst, try every free seed on small
+  // machines and a stride sample on large ones.
+  const int n = topology_->num_nodes();
+  std::vector<int> best;
+  double best_score = 1e300;
+  const int stride = n > 512 ? n / 256 : 1;
+  for (int seed = 0; seed < n; seed += stride) {
+    if (busy_[static_cast<std::size_t>(seed)]) continue;
+    // BFS over free nodes only.
+    std::vector<int> ball;
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    std::deque<int> queue{seed};
+    seen[static_cast<std::size_t>(seed)] = true;
+    while (!queue.empty() && static_cast<int>(ball.size()) < count) {
+      const int node = queue.front();
+      queue.pop_front();
+      if (!busy_[static_cast<std::size_t>(node)]) ball.push_back(node);
+      // Neighbors: +-1 in every dimension.
+      const auto coords = topology_->coordinates(node);
+      for (std::size_t d = 0; d < topology_->dims().size(); ++d) {
+        for (int dir : {-1, +1}) {
+          auto next = coords;
+          const int size = topology_->dims()[d];
+          next[d] = (next[d] + dir + size) % size;
+          const int nb = topology_->node_at(next);
+          if (!seen[static_cast<std::size_t>(nb)]) {
+            seen[static_cast<std::size_t>(nb)] = true;
+            queue.push_back(nb);
+          }
+        }
+      }
+    }
+    if (static_cast<int>(ball.size()) < count) continue;
+    const double score = mean_pairwise_hops(ball);
+    if (score < best_score) {
+      best_score = score;
+      best = ball;
+    }
+  }
+  CTESIM_ENSURES(!best.empty());
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+double Allocator::mean_pairwise_hops(const std::vector<int>& nodes) const {
+  CTESIM_EXPECTS(nodes.size() >= 2);
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      total += topology_->hops(nodes[i], nodes[j]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace ctesim::sched

@@ -1,0 +1,588 @@
+#include "simmpi/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace ctesim::mpi {
+
+namespace {
+
+// Collective tag layout: base + group context * kOpsPerContext + op.
+constexpr int kCollTagBase = 1 << 20;
+constexpr int kOpsPerContext = 16;
+constexpr int kMaxContexts = 4096;
+
+enum CollOp {
+  kOpBarrier = 0,
+  kOpBcast,
+  kOpReduce,
+  kOpAllreduce,
+  kOpAllgather,
+  kOpAlltoall,
+  kOpGather,
+  kOpScatter,
+  kOpReduceScatter,
+};
+
+int coll_tag(const Group& group, CollOp op) {
+  return kCollTagBase + group.context() * kOpsPerContext + op;
+}
+
+int highest_power_of_two_le(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+sim::Task<> run_rank(World::RankFn body, Rank* rank) {
+  co_await body(*rank);
+}
+
+}  // namespace
+
+Group::Group(std::vector<int> members, int context)
+    : members_(std::move(members)), context_(context) {
+  CTESIM_EXPECTS(!members_.empty());
+  for (int v = 0; v < size(); ++v) {
+    const bool inserted =
+        index_.emplace(members_[static_cast<std::size_t>(v)], v).second;
+    CTESIM_EXPECTS(inserted);  // members must be distinct
+  }
+}
+
+World::World(WorldOptions options, Placement placement)
+    : options_(std::move(options)),
+      placement_(std::move(placement)),
+      network_(options_.machine.interconnect,
+               std::max(options_.machine.num_nodes, placement_.nodes_used())),
+      exec_(options_.machine.node,
+            options_.compiler.value_or(
+                arch::default_app_compiler(options_.machine))) {
+  CTESIM_EXPECTS(placement_.nodes_used() <= options_.machine.num_nodes);
+  network_.set_jitter(options_.network_jitter);
+  const int n = placement_.num_ranks();
+  mailboxes_.resize(static_cast<std::size_t>(n));
+  Rng root(options_.seed);
+  jitter_.reserve(static_cast<std::size_t>(n));
+  ranks_.reserve(static_cast<std::size_t>(n));
+  std::vector<int> everyone(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    jitter_.push_back(root.split());
+    ranks_.emplace_back(new Rank(*this, r));
+    everyone[static_cast<std::size_t>(r)] = r;
+  }
+  world_group_.reset(new Group(std::move(everyone), /*context=*/0));
+  if (options_.congestion) {
+    congestion_.reset(new net::CongestionModel(network_));
+  }
+  // All ranks of a node stream concurrently (SPMD); each one's bandwidth
+  // is an equal share of what their combined cores can draw.
+  const arch::NodeModel& node = options_.machine.node;
+  const int rpn = placement_.ranks_per_node();
+  const int active_cores =
+      std::min(node.core_count(), rpn * placement_.slot(0).cores);
+  rank_bw_share_ = node.best_bw(active_cores) / rpn;
+}
+
+World::~World() = default;
+
+Group World::create_group(std::vector<int> members) {
+  for (int m : members) {
+    CTESIM_EXPECTS(m >= 0 && m < num_ranks());
+  }
+  CTESIM_EXPECTS(next_group_context_ < kMaxContexts);
+  return Group(std::move(members), next_group_context_++);
+}
+
+sim::Channel<Message>& World::mailbox(int dst, int src, int tag) {
+  CTESIM_EXPECTS(dst >= 0 && dst < num_ranks());
+  CTESIM_EXPECTS(src >= 0 && src < num_ranks());
+  CTESIM_EXPECTS(tag >= 0 && tag < (1 << 24));
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src) << 24) | static_cast<std::uint64_t>(tag);
+  auto& box = mailboxes_[static_cast<std::size_t>(dst)];
+  auto it = box.find(key);
+  if (it == box.end()) {
+    it = box.emplace(key, std::make_unique<sim::Channel<Message>>(engine_))
+             .first;
+  }
+  return *it->second;
+}
+
+void World::record(int rank, sim::Time start, sim::Time end, const char* kind,
+                   const char* detail, std::uint64_t bytes, int peer) {
+  if (!options_.trace) return;
+  trace_.push_back(TraceRecord{rank, sim::to_seconds(start),
+                               sim::to_seconds(end), kind, detail, bytes,
+                               peer});
+}
+
+double World::run(const RankFn& body) {
+  CTESIM_EXPECTS(!ran_);
+  ran_ = true;
+  for (auto& rank : ranks_) {
+    engine_.spawn(run_rank(body, rank.get()));
+  }
+  engine_.run();
+  if (engine_.unfinished_processes() != 0) {
+    throw std::runtime_error(
+        "ctesim::mpi::World: simulation deadlocked (" +
+        std::to_string(engine_.unfinished_processes()) +
+        " ranks blocked, e.g. a receive with no matching send)");
+  }
+  return sim::to_seconds(engine_.now());
+}
+
+void World::add_phase_time(int rank, const std::string& phase,
+                           double seconds) {
+  CTESIM_EXPECTS(rank >= 0 && rank < num_ranks());
+  auto& times = phase_times_[phase];
+  times.resize(static_cast<std::size_t>(num_ranks()), 0.0);
+  times[static_cast<std::size_t>(rank)] += seconds;
+}
+
+double World::phase_max(const std::string& phase) const {
+  auto it = phase_times_.find(phase);
+  if (it == phase_times_.end()) return 0.0;
+  return *std::max_element(it->second.begin(), it->second.end());
+}
+
+double World::phase_avg(const std::string& phase) const {
+  auto it = phase_times_.find(phase);
+  if (it == phase_times_.end() || it->second.empty()) return 0.0;
+  double sum = 0.0;
+  for (double t : it->second) sum += t;
+  return sum / static_cast<double>(it->second.size());
+}
+
+std::vector<std::string> World::phase_names() const {
+  std::vector<std::string> names;
+  names.reserve(phase_times_.size());
+  for (const auto& [name, times] : phase_times_) names.push_back(name);
+  return names;
+}
+
+void World::write_trace_csv(const std::string& path) const {
+  CTESIM_EXPECTS(options_.trace);
+  CsvWriter csv(path, {"rank", "start_s", "end_s", "kind", "detail", "bytes",
+                       "peer"});
+  for (const auto& r : trace_) {
+    csv.row(std::vector<std::string>{
+        std::to_string(r.rank), std::to_string(r.start_s),
+        std::to_string(r.end_s), r.kind, r.detail, std::to_string(r.bytes),
+        std::to_string(r.peer)});
+  }
+}
+
+// --------------------------------------------------------------- Rank ----
+
+Rank::DepositResult Rank::deposit(int dst, std::uint64_t bytes, int tag) {
+  CTESIM_EXPECTS(dst >= 0 && dst < size());
+  const sim::Time now = world_->engine_.now();
+  const int src_node = node();
+  const int dst_node = world_->placement_.node_of(dst);
+  sim::Time arrival;
+  sim::Time sender_done;
+  if (src_node == dst_node) {
+    const arch::NodeModel& nm = world_->machine().node;
+    CTESIM_EXPECTS(nm.shm_bw > 0.0);
+    const double t =
+        nm.shm_latency + static_cast<double>(bytes) / nm.shm_bw;
+    arrival = now + sim::from_seconds(t);
+    // The copy occupies the sender too (shared-memory transport).
+    sender_done = arrival;
+  } else {
+    const auto transfer = world_->network_.transfer(src_node, dst_node, bytes);
+    arrival = world_->congestion_
+                  ? world_->congestion_->transfer_at(src_node, dst_node,
+                                                     bytes, now)
+                  : now + sim::from_seconds(transfer.time_s);
+    if (transfer.rendezvous) {
+      // Large message: sender stays coupled until delivery completes.
+      sender_done = arrival;
+    } else {
+      // Eager: sender pays injection overhead + wire occupancy only.
+      const auto& spec = world_->network_.spec();
+      const double inject =
+          0.5 * spec.base_latency_s +
+          static_cast<double>(bytes) / (spec.link_bw * spec.eff_bw_factor);
+      sender_done = now + sim::from_seconds(inject);
+    }
+  }
+  world_->mailbox(dst, id_, tag).push(Message{bytes, arrival});
+  world_->record(id_, now, sender_done, "send", "", bytes, dst);
+  return {arrival, sender_done};
+}
+
+sim::Task<> Rank::send(int dst, std::uint64_t bytes, int tag) {
+  const DepositResult d = deposit(dst, bytes, tag);
+  const sim::Time now = world_->engine_.now();
+  if (d.sender_done > now) {
+    co_await world_->engine_.delay(d.sender_done - now);
+  }
+}
+
+Request Rank::isend(int dst, std::uint64_t bytes, int tag) {
+  const DepositResult d = deposit(dst, bytes, tag);
+  return Request{d.sender_done};
+}
+
+sim::Task<> Rank::wait(Request request) {
+  const sim::Time now = world_->engine_.now();
+  if (request.complete_at > now) {
+    co_await world_->engine_.delay(request.complete_at - now);
+  }
+}
+
+sim::Task<> Rank::waitall(std::span<const Request> requests) {
+  sim::Time latest = world_->engine_.now();
+  for (const Request& r : requests) {
+    latest = std::max(latest, r.complete_at);
+  }
+  const sim::Time now = world_->engine_.now();
+  if (latest > now) {
+    co_await world_->engine_.delay(latest - now);
+  }
+}
+
+sim::Task<std::uint64_t> Rank::recv(int src, int tag) {
+  CTESIM_EXPECTS(src >= 0 && src < size());
+  const sim::Time t0 = world_->engine_.now();
+  auto& channel = world_->mailbox(id_, src, tag);
+  const Message msg = co_await channel.pop();
+  const sim::Time now = world_->engine_.now();
+  if (msg.arrival > now) {
+    co_await world_->engine_.delay(msg.arrival - now);
+  }
+  world_->record(id_, t0, world_->engine_.now(), "recv", "", msg.bytes, src);
+  co_return msg.bytes;
+}
+
+sim::Task<std::uint64_t> Rank::sendrecv(int dst, std::uint64_t send_bytes,
+                                        int src, int tag) {
+  // Full duplex: post the outgoing message, then block on the incoming one;
+  // settle any residual sender-side occupancy afterwards.
+  const DepositResult d = deposit(dst, send_bytes, tag);
+  const std::uint64_t got = co_await recv(src, tag);
+  const sim::Time now = world_->engine_.now();
+  if (d.sender_done > now) {
+    co_await world_->engine_.delay(d.sender_done - now);
+  }
+  co_return got;
+}
+
+sim::Task<> Rank::exchange(std::span<const int> neighbors,
+                           std::uint64_t bytes_each, int tag) {
+  sim::Time latest_send = world_->engine_.now();
+  for (int nb : neighbors) {
+    const DepositResult d = deposit(nb, bytes_each, tag);
+    latest_send = std::max(latest_send, d.sender_done);
+  }
+  for (int nb : neighbors) {
+    co_await recv(nb, tag);
+  }
+  const sim::Time now = world_->engine_.now();
+  if (latest_send > now) {
+    co_await world_->engine_.delay(latest_send - now);
+  }
+}
+
+// ---------------------------------------------------------- collectives --
+
+sim::Task<> Rank::barrier() { co_await barrier(world_->world_group()); }
+
+sim::Task<> Rank::barrier(const Group& group) {
+  const int p = group.size();
+  const int me = group.vrank_of(id_);
+  CTESIM_EXPECTS(me >= 0);
+  const int tag = coll_tag(group, kOpBarrier);
+  for (int k = 1; k < p; k <<= 1) {
+    const int to = group.global((me + k) % p);
+    const int from = group.global((me - k % p + p) % p);
+    co_await sendrecv(to, 1, from, tag);
+  }
+}
+
+sim::Task<> Rank::bcast(int root, std::uint64_t bytes) {
+  co_await bcast(world_->world_group(), root, bytes);
+}
+
+sim::Task<> Rank::bcast(const Group& group, int root_vrank,
+                        std::uint64_t bytes) {
+  const int p = group.size();
+  CTESIM_EXPECTS(root_vrank >= 0 && root_vrank < p);
+  if (p == 1) co_return;
+  const int me = group.vrank_of(id_);
+  CTESIM_EXPECTS(me >= 0);
+  const int tag = coll_tag(group, kOpBcast);
+  const int relative = (me - root_vrank + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (relative & mask) {
+      const int src = (relative - mask + root_vrank) % p;
+      co_await recv(group.global(src), tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < p) {
+      const int dst = (relative + mask + root_vrank) % p;
+      co_await send(group.global(dst), bytes, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task<> Rank::reduce(int root, std::uint64_t bytes) {
+  co_await reduce(world_->world_group(), root, bytes);
+}
+
+sim::Task<> Rank::reduce(const Group& group, int root_vrank,
+                         std::uint64_t bytes) {
+  const int p = group.size();
+  CTESIM_EXPECTS(root_vrank >= 0 && root_vrank < p);
+  if (p == 1) co_return;
+  const int me = group.vrank_of(id_);
+  CTESIM_EXPECTS(me >= 0);
+  const int tag = coll_tag(group, kOpReduce);
+  const int relative = (me - root_vrank + p) % p;
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((relative & mask) == 0) {
+      const int src_rel = relative | mask;
+      if (src_rel < p) {
+        co_await recv(group.global((src_rel + root_vrank) % p), tag);
+      }
+    } else {
+      co_await send(group.global((relative - mask + root_vrank) % p), bytes,
+                    tag);
+      break;
+    }
+  }
+}
+
+sim::Task<> Rank::allreduce(std::uint64_t bytes) {
+  co_await allreduce(world_->world_group(), bytes);
+}
+
+sim::Task<> Rank::allreduce(const Group& group, std::uint64_t bytes) {
+  const int p = group.size();
+  if (p == 1) co_return;
+  if (bytes > world_->options_.allreduce_ring_threshold && p > 2) {
+    co_await ring_allreduce(group, bytes);
+    co_return;
+  }
+  // Rabenseifner-style fold to a power of two, recursive doubling, unfold.
+  const int me = group.vrank_of(id_);
+  CTESIM_EXPECTS(me >= 0);
+  const int tag = coll_tag(group, kOpAllreduce);
+  const int p2 = highest_power_of_two_le(p);
+  const int rem = p - p2;
+  int newrank;
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      co_await send(group.global(me + 1), bytes, tag);
+      newrank = -1;  // folded away for the doubling phase
+    } else {
+      co_await recv(group.global(me - 1), tag);
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+  if (newrank >= 0) {
+    for (int mask = 1; mask < p2; mask <<= 1) {
+      const int partner_new = newrank ^ mask;
+      const int partner =
+          partner_new < rem ? partner_new * 2 + 1 : partner_new + rem;
+      const int peer = group.global(partner);
+      co_await sendrecv(peer, bytes, peer, tag);
+    }
+  }
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {
+      co_await send(group.global(me - 1), bytes, tag);
+    } else {
+      co_await recv(group.global(me + 1), tag);
+    }
+  }
+}
+
+sim::Task<> Rank::ring_allreduce(const Group& group, std::uint64_t bytes) {
+  // Bandwidth-optimal: reduce-scatter ring then allgather ring, 2(P-1)
+  // steps of bytes/P each.
+  const int p = group.size();
+  const int me = group.vrank_of(id_);
+  CTESIM_EXPECTS(me >= 0);
+  const int tag = coll_tag(group, kOpAllreduce);
+  const std::uint64_t chunk =
+      std::max<std::uint64_t>(1, bytes / static_cast<std::uint64_t>(p));
+  const int right = group.global((me + 1) % p);
+  const int left = group.global((me - 1 + p) % p);
+  for (int step = 0; step < 2 * (p - 1); ++step) {
+    co_await sendrecv(right, chunk, left, tag);
+  }
+}
+
+sim::Task<> Rank::allgather(std::uint64_t bytes_per_rank) {
+  co_await allgather(world_->world_group(), bytes_per_rank);
+}
+
+sim::Task<> Rank::allgather(const Group& group,
+                            std::uint64_t bytes_per_rank) {
+  const int p = group.size();
+  if (p == 1) co_return;
+  const int me = group.vrank_of(id_);
+  CTESIM_EXPECTS(me >= 0);
+  const int tag = coll_tag(group, kOpAllgather);
+  const int right = group.global((me + 1) % p);
+  const int left = group.global((me - 1 + p) % p);
+  for (int step = 0; step < p - 1; ++step) {
+    co_await sendrecv(right, bytes_per_rank, left, tag);
+  }
+}
+
+sim::Task<> Rank::alltoall(std::uint64_t bytes_per_pair) {
+  co_await alltoall(world_->world_group(), bytes_per_pair);
+}
+
+sim::Task<> Rank::alltoall(const Group& group, std::uint64_t bytes_per_pair) {
+  const int p = group.size();
+  if (p == 1) co_return;
+  const int me = group.vrank_of(id_);
+  CTESIM_EXPECTS(me >= 0);
+  const int tag = coll_tag(group, kOpAlltoall);
+  for (int i = 1; i < p; ++i) {
+    const int to = group.global((me + i) % p);
+    const int from = group.global((me - i + p) % p);
+    co_await sendrecv(to, bytes_per_pair, from, tag);
+  }
+}
+
+sim::Task<> Rank::gather(int root, std::uint64_t bytes_per_rank) {
+  co_await gather(world_->world_group(), root, bytes_per_rank);
+}
+
+sim::Task<> Rank::gather(const Group& group, int root_vrank,
+                         std::uint64_t bytes_per_rank) {
+  // Binomial tree toward the root; a node at distance `mask` forwards the
+  // data of its whole subtree (mask * bytes_per_rank).
+  const int p = group.size();
+  CTESIM_EXPECTS(root_vrank >= 0 && root_vrank < p);
+  if (p == 1) co_return;
+  const int me = group.vrank_of(id_);
+  CTESIM_EXPECTS(me >= 0);
+  const int tag = coll_tag(group, kOpGather);
+  const int relative = (me - root_vrank + p) % p;
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((relative & mask) == 0) {
+      const int src_rel = relative | mask;
+      if (src_rel < p) {
+        co_await recv(group.global((src_rel + root_vrank) % p), tag);
+      }
+    } else {
+      const std::uint64_t subtree =
+          static_cast<std::uint64_t>(std::min(mask, p - relative));
+      co_await send(group.global((relative - mask + root_vrank) % p),
+                    subtree * bytes_per_rank, tag);
+      break;
+    }
+  }
+}
+
+sim::Task<> Rank::scatter(int root, std::uint64_t bytes_per_rank) {
+  co_await scatter(world_->world_group(), root, bytes_per_rank);
+}
+
+sim::Task<> Rank::scatter(const Group& group, int root_vrank,
+                          std::uint64_t bytes_per_rank) {
+  // Reverse binomial tree: each internal node receives its subtree's data
+  // and forwards halves outward.
+  const int p = group.size();
+  CTESIM_EXPECTS(root_vrank >= 0 && root_vrank < p);
+  if (p == 1) co_return;
+  const int me = group.vrank_of(id_);
+  CTESIM_EXPECTS(me >= 0);
+  const int tag = coll_tag(group, kOpScatter);
+  const int relative = (me - root_vrank + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (relative & mask) {
+      co_await recv(group.global((relative - mask + root_vrank) % p), tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < p) {
+      const std::uint64_t subtree =
+          static_cast<std::uint64_t>(std::min(mask, p - relative - mask));
+      co_await send(group.global((relative + mask + root_vrank) % p),
+                    subtree * bytes_per_rank, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task<> Rank::reduce_scatter(std::uint64_t total_bytes) {
+  co_await reduce_scatter(world_->world_group(), total_bytes);
+}
+
+sim::Task<> Rank::reduce_scatter(const Group& group,
+                                 std::uint64_t total_bytes) {
+  // Pairwise halving: log2(P) rounds, each exchanging half the remaining
+  // buffer (power-of-two groups take the optimal path; others fall back to
+  // a ring of chunks).
+  const int p = group.size();
+  if (p == 1) co_return;
+  const int me = group.vrank_of(id_);
+  CTESIM_EXPECTS(me >= 0);
+  const int tag = coll_tag(group, kOpReduceScatter);
+  if ((p & (p - 1)) == 0) {
+    std::uint64_t bytes = total_bytes / 2;
+    for (int mask = p >> 1; mask > 0; mask >>= 1) {
+      const int peer = group.global(me ^ mask);
+      co_await sendrecv(peer, std::max<std::uint64_t>(1, bytes), peer, tag);
+      bytes /= 2;
+    }
+  } else {
+    const std::uint64_t chunk = std::max<std::uint64_t>(
+        1, total_bytes / static_cast<std::uint64_t>(p));
+    const int right = group.global((me + 1) % p);
+    const int left = group.global((me - 1 + p) % p);
+    for (int step = 0; step < p - 1; ++step) {
+      co_await sendrecv(right, chunk, left, tag);
+    }
+  }
+}
+
+// -------------------------------------------------------------- compute --
+
+sim::Task<> Rank::compute(const roofline::KernelSig& sig, double elems) {
+  double seconds =
+      world_->exec_
+          .analyze_shared(sig, elems, slot().cores, world_->rank_bw_share_)
+          .total_s;
+  if (world_->options_.compute_jitter > 0.0) {
+    auto& rng = world_->jitter_[static_cast<std::size_t>(id_)];
+    seconds *= 1.0 + world_->options_.compute_jitter * std::fabs(rng.normal());
+  }
+  const sim::Time t0 = world_->engine_.now();
+  co_await world_->engine_.delay(sim::from_seconds(seconds));
+  world_->record(id_, t0, world_->engine_.now(), "compute", sig.name, 0, -1);
+}
+
+sim::Task<> Rank::compute_seconds(double seconds) {
+  CTESIM_EXPECTS(seconds >= 0.0);
+  const sim::Time t0 = world_->engine_.now();
+  co_await world_->engine_.delay(sim::from_seconds(seconds));
+  world_->record(id_, t0, world_->engine_.now(), "compute", "fixed", 0, -1);
+}
+
+}  // namespace ctesim::mpi

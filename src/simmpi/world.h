@@ -1,0 +1,276 @@
+// Simulated MPI world: ranks as coroutine actors over the DES engine, with
+// point-to-point messaging timed by the network/node models and collective
+// operations implemented as the standard algorithms (binomial tree,
+// recursive doubling, ring, pairwise exchange) on top of point-to-point.
+//
+// A World is one-shot: construct, run(), read results. The simulation is
+// deterministic for a fixed (options, placement, body).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/configs.h"
+#include "arch/machine.h"
+#include "core/channel.h"
+#include "core/engine.h"
+#include "net/congestion.h"
+#include "net/network.h"
+#include "roofline/exec_model.h"
+#include "simmpi/placement.h"
+#include "util/rng.h"
+
+namespace ctesim::mpi {
+
+/// An in-flight message (payload is sizes only; ctesim models time, the
+/// numerics live in src/kernels).
+struct Message {
+  std::uint64_t bytes = 0;
+  sim::Time arrival = 0;  ///< absolute simulated arrival time
+};
+
+/// An ordered subset of world ranks — the communicator equivalent.
+/// Collectives on different groups are isolated by a per-group context in
+/// the tag space. Create via World::create_group.
+class Group {
+ public:
+  int size() const { return static_cast<int>(members_.size()); }
+  /// Global rank of the group's `vrank`-th member.
+  int global(int vrank) const {
+    CTESIM_EXPECTS(vrank >= 0 && vrank < size());
+    return members_[static_cast<std::size_t>(vrank)];
+  }
+  /// Position of a global rank in the group, -1 if absent.
+  int vrank_of(int global_rank) const {
+    auto it = index_.find(global_rank);
+    return it == index_.end() ? -1 : it->second;
+  }
+  bool contains(int global_rank) const { return vrank_of(global_rank) >= 0; }
+  int context() const { return context_; }
+
+ private:
+  friend class World;
+  Group(std::vector<int> members, int context);
+
+  std::vector<int> members_;
+  std::unordered_map<int, int> index_;
+  int context_;
+};
+
+/// Handle for a nonblocking send (see Rank::isend / Rank::wait).
+struct Request {
+  sim::Time complete_at = 0;
+};
+
+/// One record of the execution trace (see WorldOptions::trace).
+struct TraceRecord {
+  int rank = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  const char* kind = "";  ///< "compute", "send", "recv", ...
+  const char* detail = "";
+  std::uint64_t bytes = 0;
+  int peer = -1;
+};
+
+struct WorldOptions {
+  arch::MachineModel machine;
+  /// Compiler used for the workload; defaults to the paper's choice for the
+  /// machine (GNU on CTE-Arm, Intel on MareNostrum 4).
+  std::optional<arch::CompilerModel> compiler;
+  /// Relative magnitude of per-call compute-time noise (system jitter,
+  /// imbalance). 0 disables. Noise only ever slows a rank down.
+  double compute_jitter = 0.0;
+  /// Deterministic seed for the jitter streams.
+  std::uint64_t seed = 42;
+  /// Per-pair network bandwidth jitter amplitude (see net::Network).
+  double network_jitter = 0.03;
+  /// Record a per-rank execution timeline (write_trace_csv after run()).
+  bool trace = false;
+  /// Model shared-link contention on the interconnect (see
+  /// net::CongestionModel). Off by default: the figure harnesses are
+  /// calibrated contention-free; turn on for congestion studies.
+  bool congestion = false;
+  /// Payload size above which allreduce switches from recursive doubling
+  /// to the bandwidth-optimal ring (reduce-scatter + allgather).
+  std::uint64_t allreduce_ring_threshold = 256 * 1024;
+};
+
+class Rank;
+
+class World {
+ public:
+  World(WorldOptions options, Placement placement);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  using RankFn = std::function<sim::Task<>(Rank&)>;
+
+  /// Run `body` on every rank to completion. Returns the makespan in
+  /// simulated seconds. Throws if the workload deadlocks (unmatched
+  /// receives) or a rank throws.
+  double run(const RankFn& body);
+
+  int num_ranks() const { return placement_.num_ranks(); }
+  const Placement& placement() const { return placement_; }
+  const arch::MachineModel& machine() const { return options_.machine; }
+  net::Network& network() { return network_; }
+  sim::Engine& engine() { return engine_; }
+  const roofline::ExecModel& exec() const { return exec_; }
+
+  /// The group containing every rank, in rank order.
+  const Group& world_group() const { return *world_group_; }
+
+  /// A new group over `members` (global ranks, all distinct, in the given
+  /// order) with its own collective context.
+  Group create_group(std::vector<int> members);
+
+  // --- per-phase timing, aggregated across ranks -------------------------
+  void add_phase_time(int rank, const std::string& phase, double seconds);
+  /// Slowest rank's accumulated time for a phase ("elapsed time of the
+  /// slowest process", as the paper reports Alya phases). 0 if unknown.
+  double phase_max(const std::string& phase) const;
+  /// Mean across ranks that reported the phase. 0 if unknown.
+  double phase_avg(const std::string& phase) const;
+  std::vector<std::string> phase_names() const;
+
+  /// Time spent queueing behind busy links so far (0 unless
+  /// WorldOptions::congestion is on).
+  double network_queueing_seconds() const {
+    return congestion_ ? congestion_->total_queueing_seconds() : 0.0;
+  }
+
+  // --- tracing ------------------------------------------------------------
+  const std::vector<TraceRecord>& trace() const { return trace_; }
+  /// Write the recorded timeline as CSV (rank,start,end,kind,detail,bytes,
+  /// peer). Requires WorldOptions::trace.
+  void write_trace_csv(const std::string& path) const;
+
+ private:
+  friend class Rank;
+
+  sim::Channel<Message>& mailbox(int dst, int src, int tag);
+  void record(int rank, sim::Time start, sim::Time end, const char* kind,
+              const char* detail, std::uint64_t bytes, int peer);
+
+  WorldOptions options_;
+  Placement placement_;
+  net::Network network_;
+  roofline::ExecModel exec_;
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  // One mailbox map per destination rank, keyed by (src, tag).
+  std::vector<std::unordered_map<std::uint64_t,
+                                 std::unique_ptr<sim::Channel<Message>>>>
+      mailboxes_;
+  std::vector<Rng> jitter_;
+  std::map<std::string, std::vector<double>> phase_times_;
+  std::unique_ptr<Group> world_group_;
+  std::unique_ptr<net::CongestionModel> congestion_;
+  int next_group_context_ = 1;
+  std::vector<TraceRecord> trace_;
+  /// Fair raw-bandwidth share of one rank when all node ranks run (SPMD).
+  double rank_bw_share_ = 0.0;
+  bool ran_ = false;
+};
+
+/// Handle a rank's coroutine uses to interact with the simulated machine.
+/// All communication/compute methods are awaitable tasks.
+class Rank {
+ public:
+  int id() const { return id_; }
+  int size() const { return world_->num_ranks(); }
+  const RankSlot& slot() const { return world_->placement_.slot(id_); }
+  int node() const { return slot().node; }
+  World& world() { return *world_; }
+
+  /// Current simulated time, seconds.
+  double now_s() const { return sim::to_seconds(world_->engine_.now()); }
+
+  /// Largest tag usable in point-to-point calls; higher values are
+  /// reserved for the collective algorithms' internal messages.
+  static constexpr int kMaxUserTag = (1 << 20) - 1;
+
+  // --- point-to-point (tags must be in [0, kMaxUserTag]) ------------------
+  sim::Task<> send(int dst, std::uint64_t bytes, int tag = 0);
+  sim::Task<std::uint64_t> recv(int src, int tag = 0);
+  /// Full-duplex exchange (MPI_Sendrecv): returns received byte count.
+  sim::Task<std::uint64_t> sendrecv(int dst, std::uint64_t send_bytes,
+                                    int src, int tag = 0);
+  /// Nonblocking send: the message is injected immediately; wait() (or any
+  /// later await) settles the residual sender-side occupancy.
+  Request isend(int dst, std::uint64_t bytes, int tag = 0);
+  sim::Task<> wait(Request request);
+  sim::Task<> waitall(std::span<const Request> requests);
+  /// Post sends to all neighbors, then receive one message from each —
+  /// the halo-exchange pattern every domain-decomposed app uses. The span
+  /// must reference storage that outlives the await (a named container).
+  sim::Task<> exchange(std::span<const int> neighbors,
+                       std::uint64_t bytes_each, int tag = 0);
+
+  // --- collectives (algorithms over point-to-point) ----------------------
+  // Each has a whole-world form and a Group form. Group arguments must
+  // outlive the await (named lvalues, per the core/task.h GCC constraint).
+  sim::Task<> barrier();                       ///< dissemination
+  sim::Task<> barrier(const Group& group);
+  sim::Task<> bcast(int root, std::uint64_t bytes);      ///< binomial tree
+  sim::Task<> bcast(const Group& group, int root_vrank, std::uint64_t bytes);
+  sim::Task<> reduce(int root, std::uint64_t bytes);     ///< binomial tree
+  sim::Task<> reduce(const Group& group, int root_vrank, std::uint64_t bytes);
+  /// Recursive doubling below WorldOptions::allreduce_ring_threshold,
+  /// bandwidth-optimal ring (reduce-scatter + allgather) above it.
+  sim::Task<> allreduce(std::uint64_t bytes);
+  sim::Task<> allreduce(const Group& group, std::uint64_t bytes);
+  sim::Task<> allgather(std::uint64_t bytes_per_rank);   ///< ring
+  sim::Task<> allgather(const Group& group, std::uint64_t bytes_per_rank);
+  sim::Task<> alltoall(std::uint64_t bytes_per_pair);    ///< pairwise
+  sim::Task<> alltoall(const Group& group, std::uint64_t bytes_per_pair);
+  sim::Task<> gather(int root, std::uint64_t bytes_per_rank);  ///< binomial
+  sim::Task<> gather(const Group& group, int root_vrank,
+                     std::uint64_t bytes_per_rank);
+  sim::Task<> scatter(int root, std::uint64_t bytes_per_rank);  ///< binomial
+  sim::Task<> scatter(const Group& group, int root_vrank,
+                      std::uint64_t bytes_per_rank);
+  /// Pairwise-halving reduce-scatter of a `total_bytes` buffer.
+  sim::Task<> reduce_scatter(std::uint64_t total_bytes);
+  sim::Task<> reduce_scatter(const Group& group, std::uint64_t total_bytes);
+
+  // --- compute -----------------------------------------------------------
+  /// Run `elems` elements of `sig` on this rank's cores.
+  sim::Task<> compute(const roofline::KernelSig& sig, double elems);
+  /// Occupy this rank for a fixed time (I/O waits, serial sections).
+  sim::Task<> compute_seconds(double seconds);
+
+  /// Accumulate `seconds` into a named phase for reporting.
+  void phase_add(const std::string& phase, double seconds) {
+    world_->add_phase_time(id_, phase, seconds);
+  }
+
+ private:
+  friend class World;
+  Rank(World& world, int id) : world_(&world), id_(id) {}
+
+  /// Compute transfer times and enqueue the message at the destination.
+  /// Returns {arrival time, sender-completion time}.
+  struct DepositResult {
+    sim::Time arrival;
+    sim::Time sender_done;
+  };
+  DepositResult deposit(int dst, std::uint64_t bytes, int tag);
+
+  // Group-based collective engines (tags derived from the group context).
+  sim::Task<> ring_allreduce(const Group& group, std::uint64_t bytes);
+
+  World* world_;
+  int id_;
+};
+
+}  // namespace ctesim::mpi

@@ -1,0 +1,14 @@
+#include "util/check.h"
+
+#include <sstream>
+
+namespace ctesim::detail {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ":" << line;
+  throw ContractError(os.str());
+}
+
+}  // namespace ctesim::detail

@@ -1,0 +1,43 @@
+// Contract checking macros used across ctesim.
+//
+// Following the C++ Core Guidelines (I.6 "Prefer Expects() for expressing
+// preconditions", I.8 Ensures()), we make pre/post-conditions explicit and
+// testable: violations throw ctesim::ContractError so unit tests can assert
+// on them, instead of aborting the whole test binary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ctesim {
+
+/// Thrown when a CTESIM_EXPECTS / CTESIM_ENSURES contract is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line);
+}  // namespace detail
+
+}  // namespace ctesim
+
+/// Precondition check: document and enforce what a function requires.
+#define CTESIM_EXPECTS(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::ctesim::detail::contract_failure("Precondition", #expr, __FILE__, \
+                                         __LINE__);                       \
+    }                                                                     \
+  } while (false)
+
+/// Postcondition check: document and enforce what a function guarantees.
+#define CTESIM_ENSURES(expr)                                               \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::ctesim::detail::contract_failure("Postcondition", #expr, __FILE__, \
+                                         __LINE__);                        \
+    }                                                                      \
+  } while (false)

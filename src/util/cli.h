@@ -1,0 +1,52 @@
+// Tiny command-line flag parser for the bench harnesses and examples.
+//
+// Supports --name=value and --name value forms, plus bare --flag for bools.
+// Unknown flags are an error (catches typos in sweep scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ctesim {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Register options; `help` is shown by print_help(). Returns *this so
+  /// registrations chain.
+  Cli& flag(const std::string& name, bool* value, const std::string& help);
+  Cli& option(const std::string& name, std::int64_t* value,
+              const std::string& help);
+  Cli& option(const std::string& name, double* value, const std::string& help);
+  Cli& option(const std::string& name, std::string* value,
+              const std::string& help);
+
+  /// Parse argv. Returns false (after printing a message) on error or when
+  /// --help was requested; the caller should exit(0) in that case.
+  bool parse(int argc, const char* const* argv);
+
+  void print_help() const;
+
+ private:
+  enum class Kind { kBool, kInt, kDouble, kString };
+  struct Opt {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Cli& add(const std::string& name, Kind kind, void* target,
+           const std::string& help, std::string default_repr);
+  bool assign(const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Opt> opts_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace ctesim

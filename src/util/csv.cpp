@@ -1,0 +1,55 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace ctesim {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  CTESIM_EXPECTS(!header.empty());
+  write_fields(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  CTESIM_EXPECTS(fields.size() == columns_);
+  write_fields(fields);
+}
+
+void CsvWriter::row(const std::vector<double>& fields) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (double v : fields) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    text.emplace_back(buf);
+  }
+  row(text);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace ctesim

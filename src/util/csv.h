@@ -1,0 +1,33 @@
+// CSV output for the bench harnesses: every figure binary can dump its series
+// as CSV (via --csv=path) so results can be re-plotted outside the terminal.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ctesim {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row; field counts must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for numeric rows.
+  void row(const std::vector<double>& fields);
+
+  /// Quote a field per RFC 4180 if it contains separators/quotes/newlines.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+
+  void write_fields(const std::vector<std::string>& fields);
+};
+
+}  // namespace ctesim

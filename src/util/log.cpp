@@ -1,0 +1,38 @@
+#include "util/log.h"
+
+#include <cstdio>
+#include <string>
+
+namespace ctesim::log {
+
+namespace {
+Level g_threshold = Level::kWarn;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Level threshold() { return g_threshold; }
+
+void set_threshold(Level level) { g_threshold = level; }
+
+void emit(Level level, std::string_view msg) {
+  if (level < g_threshold) return;
+  std::string line(msg);
+  std::fprintf(stderr, "[ctesim %-5s] %s\n", level_name(level), line.c_str());
+}
+
+}  // namespace ctesim::log

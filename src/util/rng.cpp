@@ -1,0 +1,75 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace ctesim {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  CTESIM_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CTESIM_EXPECTS(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; draw until u1 is nonzero so std::log is safe.
+  double u1 = uniform();
+  while (u1 == 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  for (auto& word : child.state_) word = next_u64();
+  return child;
+}
+
+}  // namespace ctesim

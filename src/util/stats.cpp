@@ -1,0 +1,105 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ctesim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  CTESIM_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  CTESIM_EXPECTS(n_ > 1);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  CTESIM_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  CTESIM_EXPECTS(n_ > 0);
+  return max_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  CTESIM_EXPECTS(hi > lo);
+  CTESIM_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  CTESIM_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  CTESIM_EXPECTS(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(bins());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+int Histogram::modes(double min_fraction) const {
+  if (total_ == 0) return 0;
+  const auto threshold =
+      static_cast<double>(total_) * min_fraction;
+  int modes = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (c < threshold) continue;
+    // A mode is a bin strictly greater than its nearest differing neighbours
+    // (plateaus count once, at their left edge).
+    std::size_t l = i;
+    while (l > 0 && counts_[l - 1] == counts_[i]) --l;
+    std::size_t r = i;
+    while (r + 1 < counts_.size() && counts_[r + 1] == counts_[i]) ++r;
+    const bool left_ok = (l == 0) || (counts_[l - 1] < counts_[i]);
+    const bool right_ok = (r + 1 == counts_.size()) || (counts_[r + 1] < counts_[i]);
+    if (left_ok && right_ok && i == l) ++modes;
+  }
+  return modes;
+}
+
+double percentile(std::vector<double> values, double q) {
+  CTESIM_EXPECTS(!values.empty());
+  CTESIM_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double idx = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace ctesim

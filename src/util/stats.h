@@ -1,0 +1,57 @@
+// Streaming statistics and histograms used by the network-distribution
+// figures (Fig. 4, Fig. 5) and by variability checks in the tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ctesim {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Number of local maxima with at least `min_fraction` of the total mass —
+  /// used by tests to assert the bimodality the paper observes in Fig. 5.
+  int modes(double min_fraction) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact percentile of a sample (q in [0,1], linear interpolation).
+double percentile(std::vector<double> values, double q);
+
+}  // namespace ctesim

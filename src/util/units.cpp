@@ -1,0 +1,108 @@
+#include "util/units.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace ctesim::units {
+
+namespace {
+std::string format_scaled(double value, const char* const* suffixes,
+                          int nsuffixes, double base) {
+  int idx = 0;
+  double v = value;
+  while (std::fabs(v) >= base && idx + 1 < nsuffixes) {
+    v /= base;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[idx]);
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes_binary(std::uint64_t bytes) {
+  static const char* const kSuffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  if (bytes < 1024) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+    return buf;
+  }
+  return format_scaled(static_cast<double>(bytes), kSuffixes, 5, 1024.0);
+}
+
+std::string format_bytes_decimal(double bytes) {
+  static const char* const kSuffixes[] = {"B", "kB", "MB", "GB", "TB"};
+  return format_scaled(bytes, kSuffixes, 5, 1000.0);
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  static const char* const kSuffixes[] = {"B/s", "kB/s", "MB/s", "GB/s",
+                                          "TB/s"};
+  return format_scaled(bytes_per_second, kSuffixes, 5, 1000.0);
+}
+
+std::string format_flops(double flops_per_second) {
+  static const char* const kSuffixes[] = {"Flop/s", "KFlop/s", "MFlop/s",
+                                          "GFlop/s", "TFlop/s", "PFlop/s"};
+  return format_scaled(flops_per_second, kSuffixes, 6, 1000.0);
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else if (abs >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+bool parse_size(const std::string& text, std::uint64_t* out_bytes) {
+  CTESIM_EXPECTS(out_bytes != nullptr);
+  if (text.empty()) return false;
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+  bool any_digit = false;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    value = value * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+    any_digit = true;
+    ++pos;
+  }
+  if (!any_digit) return false;
+  std::uint64_t mult = 1;
+  if (pos < text.size()) {
+    switch (std::tolower(static_cast<unsigned char>(text[pos]))) {
+      case 'k':
+        mult = 1024ULL;
+        break;
+      case 'm':
+        mult = 1024ULL * 1024;
+        break;
+      case 'g':
+        mult = 1024ULL * 1024 * 1024;
+        break;
+      default:
+        return false;
+    }
+    ++pos;
+    if (pos < text.size() &&
+        std::tolower(static_cast<unsigned char>(text[pos])) == 'b') {
+      ++pos;
+    }
+    if (pos != text.size()) return false;
+  }
+  *out_bytes = value * mult;
+  return true;
+}
+
+}  // namespace ctesim::units

@@ -1,0 +1,38 @@
+// Human-readable formatting and parsing of HPC quantities (bytes, bandwidth,
+// FLOP rates, durations). Used by the reporting layer and the bench harnesses
+// so every figure prints units the same way the paper does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ctesim::units {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+/// "256 B", "1.0 KiB", "4.0 MiB" — power-of-two units (message sizes).
+std::string format_bytes_binary(std::uint64_t bytes);
+
+/// "1.5 GB", "256.0 MB" — decimal units (memory capacities as vendors quote).
+std::string format_bytes_decimal(double bytes);
+
+/// "862.6 GB/s" style bandwidth (decimal GB as in STREAM and the paper).
+std::string format_bandwidth(double bytes_per_second);
+
+/// "70.40 GFlop/s", "2.1 TFlop/s".
+std::string format_flops(double flops_per_second);
+
+/// "12.5 us", "3.2 ms", "41.0 s".
+std::string format_seconds(double seconds);
+
+/// Parse sizes like "256", "4k", "1M", "2G" (binary multipliers) into bytes.
+/// Returns false on malformed input.
+bool parse_size(const std::string& text, std::uint64_t* out_bytes);
+
+}  // namespace ctesim::units

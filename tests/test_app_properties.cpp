@@ -1,0 +1,103 @@
+// Cross-application property sweeps: invariants every workload proxy must
+// satisfy on both machines.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "apps/alya.h"
+#include "apps/gromacs.h"
+#include "apps/nemo.h"
+#include "apps/openifs.h"
+#include "apps/wrf.h"
+#include "arch/configs.h"
+
+namespace ctesim::apps {
+namespace {
+
+struct AppCase {
+  const char* name;
+  int min_nodes;
+  int max_nodes;
+  /// Principal metric at `nodes` on `machine` (lower is better).
+  std::function<double(const arch::MachineModel&, int)> metric;
+};
+
+std::vector<AppCase> cases() {
+  return {
+      {"alya", 12, 44,
+       [](const arch::MachineModel& m, int n) {
+         return run_alya(m, n).time_per_step;
+       }},
+      {"nemo", 8, 32,
+       [](const arch::MachineModel& m, int n) {
+         return run_nemo(m, n).total_time;
+       }},
+      {"gromacs", 1, 16,
+       [](const arch::MachineModel& m, int n) {
+         return run_gromacs(m, n * 8).days_per_ns;
+       }},
+      {"wrf", 1, 16,
+       [](const arch::MachineModel& m, int n) {
+         return run_wrf(m, n).total_time;
+       }},
+  };
+}
+
+class AppProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppProperty, StrongScalingMonotoneOnBothMachines) {
+  const AppCase app = cases()[static_cast<std::size_t>(GetParam())];
+  for (const auto& machine : {arch::cte_arm(), arch::marenostrum4()}) {
+    double prev = 1e300;
+    for (int nodes = app.min_nodes; nodes <= app.max_nodes; nodes *= 2) {
+      const double t = app.metric(machine, nodes);
+      EXPECT_LT(t, prev) << app.name << " on " << machine.name << " at "
+                         << nodes;
+      prev = t;
+    }
+  }
+}
+
+TEST_P(AppProperty, DeterministicAcrossRepeatedRuns) {
+  const AppCase app = cases()[static_cast<std::size_t>(GetParam())];
+  const auto machine = arch::cte_arm();
+  EXPECT_DOUBLE_EQ(app.metric(machine, app.min_nodes),
+                   app.metric(machine, app.min_nodes))
+      << app.name;
+}
+
+TEST_P(AppProperty, MareNostrumAlwaysWinsPerEqualNodes) {
+  // The paper's blanket finding for all five untuned applications.
+  const AppCase app = cases()[static_cast<std::size_t>(GetParam())];
+  for (int nodes = app.min_nodes; nodes <= app.max_nodes; nodes *= 2) {
+    EXPECT_GT(app.metric(arch::cte_arm(), nodes),
+              app.metric(arch::marenostrum4(), nodes))
+        << app.name << " at " << nodes;
+  }
+}
+
+TEST_P(AppProperty, SlowdownWithinPaperEnvelope) {
+  // Every application's slowdown lies in the paper's global 1.6x-4x band
+  // at its smallest studied scale.
+  const AppCase app = cases()[static_cast<std::size_t>(GetParam())];
+  const double ratio = app.metric(arch::cte_arm(), app.min_nodes) /
+                       app.metric(arch::marenostrum4(), app.min_nodes);
+  EXPECT_GT(ratio, 1.5) << app.name;
+  EXPECT_LT(ratio, 4.0) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, AppProperty, ::testing::Range(0, 4));
+
+TEST(AppProperty, OpenIfsCoveredSeparately) {
+  // OpenIFS single-node study (its multi-node minimum of 32 nodes makes
+  // the doubling sweep above too expensive for a unit test).
+  const double cte = run_openifs_ranks(arch::cte_arm(), 48).seconds_per_day;
+  const double mn4 =
+      run_openifs_ranks(arch::marenostrum4(), 48).seconds_per_day;
+  EXPECT_GT(cte / mn4, 1.5);
+  EXPECT_LT(cte / mn4, 4.0);
+}
+
+}  // namespace
+}  // namespace ctesim::apps

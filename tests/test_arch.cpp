@@ -1,0 +1,157 @@
+// Tests for the machine models: every number of Table I must come out of
+// the model, and the memory curves must reproduce the paper's STREAM
+// anchors.
+#include <gtest/gtest.h>
+
+#include "arch/calibration.h"
+#include "arch/compiler.h"
+#include "arch/configs.h"
+
+namespace ctesim::arch {
+namespace {
+
+TEST(TableI, CteArmPeaks) {
+  const auto m = cte_arm();
+  // DP Peak / core = 70.40 GFlop/s.
+  EXPECT_NEAR(m.node.core.peak_vector_flops(Precision::kDouble), 70.40e9,
+              1e6);
+  // DP Peak / node = 3379.20 GFlop/s.
+  EXPECT_NEAR(m.node.peak_flops(), 3379.20e9, 1e7);
+  EXPECT_EQ(m.node.core_count(), 48);
+  EXPECT_EQ(m.node.num_domains, 4);
+  EXPECT_EQ(m.node.sockets, 1);
+  EXPECT_NEAR(m.node.memory_gb(), 32.0, 1e-9);
+  EXPECT_NEAR(m.node.peak_bw(), 1024.0e9, 1e-3);
+  EXPECT_EQ(m.num_nodes, 192);
+  EXPECT_NEAR(m.interconnect.link_bw, 6.8e9, 1e-3);
+}
+
+TEST(TableI, MareNostrum4Peaks) {
+  const auto m = marenostrum4();
+  // DP Peak / core = 67.20 GFlop/s.
+  EXPECT_NEAR(m.node.core.peak_vector_flops(Precision::kDouble), 67.20e9,
+              1e6);
+  // DP Peak / node = 3225.60 GFlop/s.
+  EXPECT_NEAR(m.node.peak_flops(), 3225.60e9, 1e7);
+  EXPECT_EQ(m.node.core_count(), 48);
+  EXPECT_EQ(m.node.sockets, 2);
+  EXPECT_NEAR(m.node.memory_gb(), 96.0, 1e-9);
+  EXPECT_NEAR(m.node.peak_bw(), 256.0e9, 1e-3);
+  EXPECT_EQ(m.num_nodes, 3456);
+  EXPECT_NEAR(m.interconnect.link_bw, 12.0e9, 1e-3);
+}
+
+TEST(CoreModel, PrecisionScalingOnA64fx) {
+  const auto core = cte_arm().node.core;
+  const double dp = core.peak_vector_flops(Precision::kDouble);
+  // SVE with native FP16: single = 2x double, half = 4x double.
+  EXPECT_NEAR(core.peak_vector_flops(Precision::kSingle), 2.0 * dp, 1.0);
+  EXPECT_NEAR(core.peak_vector_flops(Precision::kHalf), 4.0 * dp, 1.0);
+}
+
+TEST(CoreModel, HalfFallsBackToSingleOnSkylake) {
+  const auto core = marenostrum4().node.core;
+  // AVX-512 has no FP16 arithmetic: half runs at the single rate.
+  EXPECT_DOUBLE_EQ(core.peak_vector_flops(Precision::kHalf),
+                   core.peak_vector_flops(Precision::kSingle));
+}
+
+TEST(CoreModel, ScalarPeakIndependentOfPrecision) {
+  const auto core = cte_arm().node.core;
+  // 2 scalar FMA/cycle * 2 flops * 2.2 GHz = 8.8 GFlop/s.
+  EXPECT_NEAR(core.peak_scalar_flops(), 8.8e9, 1e3);
+}
+
+TEST(Memory, DomainBandwidthSaturates) {
+  const auto domain = cte_arm().node.domain;
+  // Monotone non-decreasing up to saturation; capped at the ceiling.
+  double prev = 0.0;
+  for (int t = 1; t <= domain.cores; ++t) {
+    const double bw = domain.achieved_bw(t);
+    EXPECT_GE(bw, prev - 1e-6);
+    EXPECT_LE(bw, domain.ceiling_bw() + 1e-6);
+    prev = bw;
+  }
+  EXPECT_DOUBLE_EQ(domain.achieved_bw(0), 0.0);
+}
+
+TEST(Memory, Fig2AnchorsCteArm) {
+  const auto node = cte_arm().node;
+  // Paper: OpenMP STREAM saturates at 292.0 GB/s around 24 threads...
+  EXPECT_NEAR(node.single_process_bw(24), 292.0e9, 4.0e9);
+  // ...and is only mildly lower at 48 threads.
+  const double bw48 = node.single_process_bw(48);
+  EXPECT_GT(bw48, 0.9 * 292.0e9);
+  EXPECT_LE(bw48, 292.0e9);
+}
+
+TEST(Memory, Fig3AnchorsCteArm) {
+  const auto node = cte_arm().node;
+  // Hybrid 4 ranks x 12 threads reaches 862.6 GB/s = 84% of 1024.
+  EXPECT_NEAR(node.hybrid_bw(4, 12), 862.6e9, 2.0e9);
+}
+
+TEST(Memory, Fig2AnchorsMareNostrum4) {
+  const auto node = marenostrum4().node;
+  // Paper: best 201.2 GB/s = 66% of peak with 48 threads.
+  EXPECT_NEAR(node.single_process_bw(48), 201.2e9, 3.0e9);
+  // MN4 keeps growing to the full node (max at 48, not before).
+  EXPECT_GE(node.single_process_bw(48), node.single_process_bw(24) - 1e6);
+}
+
+TEST(Memory, BestBwUsesAllDomains) {
+  const auto node = cte_arm().node;
+  EXPECT_NEAR(node.best_bw(48), 862.6e9, 2.0e9);
+  // Half the cores still drive all four CMGs at half strength or better.
+  EXPECT_GT(node.best_bw(24), 0.45 * node.best_bw(48));
+}
+
+TEST(Compiler, GnuCannotVectorizeAppsOnA64fx) {
+  const auto core = cte_arm().node.core;
+  const auto gnu = gnu_compiler();
+  // The paper's central observation (Section VI).
+  EXPECT_LT(gnu.vectorization(KernelClass::kFemAssembly, core), 0.10);
+  EXPECT_LT(gnu.vectorization(KernelClass::kSparseSolver, core), 0.10);
+  EXPECT_LT(gnu.vectorization(KernelClass::kPhysics, core), 0.10);
+  // The hand-written FMA kernel always vectorizes.
+  EXPECT_DOUBLE_EQ(gnu.vectorization(KernelClass::kFmaThroughput, core), 1.0);
+}
+
+TEST(Compiler, VendorBinariesVectorizeNearPerfectly) {
+  const auto core = cte_arm().node.core;
+  const auto vendor = vendor_tuned();
+  EXPECT_GT(vendor.vectorization(KernelClass::kDenseLinAlg, core), 0.95);
+}
+
+TEST(Compiler, A64fxIndirectAccessStarvedWithoutPrefetch) {
+  const auto a64 = cte_arm().node.core;
+  const auto skx = marenostrum4().node.core;
+  // GNU sparse code on A64FX sustains far less of STREAM bandwidth than
+  // Intel sparse code on Skylake (HBM needs prefetch; Skylake OoO copes).
+  EXPECT_LT(gnu_compiler().mem_efficiency(KernelClass::kSparseSolver, a64),
+            0.25);
+  EXPECT_GT(intel_compiler().mem_efficiency(KernelClass::kSparseSolver, skx),
+            0.7);
+}
+
+TEST(Compiler, DefaultAppCompilerMatchesPaper) {
+  EXPECT_EQ(default_app_compiler(cte_arm()).vendor(), CompilerVendor::kGnu);
+  EXPECT_EQ(default_app_compiler(marenostrum4()).vendor(),
+            CompilerVendor::kIntel);
+}
+
+TEST(Machine, TotalPeaks) {
+  // 192 nodes: CTE-Arm 648.8 TFlop/s vs MN4-equivalent 619.3 TFlop/s.
+  EXPECT_NEAR(cte_arm().peak_flops_total(), 192 * 3379.2e9, 1e9);
+  const auto mn4 = marenostrum4();
+  EXPECT_NEAR(mn4.node.peak_flops() * 192, 192 * 3225.6e9, 1e9);
+}
+
+TEST(Machine, LlcBytes) {
+  EXPECT_NEAR(cte_arm().node.llc_bytes(), 32.0 * 1024 * 1024, 1.0);
+  EXPECT_NEAR(marenostrum4().node.llc_bytes(), (66.0 + 48.0) * 1024 * 1024,
+              1.0);
+}
+
+}  // namespace
+}  // namespace ctesim::arch

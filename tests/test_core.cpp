@@ -1,0 +1,209 @@
+// Unit tests for the DES engine, coroutine tasks and channels.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/engine.h"
+#include "core/task.h"
+
+namespace ctesim::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_in(30, [&] { order.push_back(3); });
+  engine.schedule_in(10, [&] { order.push_back(1); });
+  engine.schedule_in(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, EqualTimesFireInSchedulingOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_in(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, NestedSchedulingAdvancesTime) {
+  Engine engine;
+  Time inner_time = -1;
+  engine.schedule_in(10, [&] {
+    engine.schedule_in(15, [&] { inner_time = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(inner_time, 25);
+}
+
+TEST(Engine, RejectsNegativeDelay) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule_in(-1, [] {}), ContractError);
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_in(10, [&] { ++fired; });
+  engine.schedule_in(100, [&] { ++fired; });
+  EXPECT_FALSE(engine.run_until(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), 50);
+  EXPECT_TRUE(engine.run_until(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, CountsEvents) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) engine.schedule_in(i, [] {});
+  engine.run();
+  EXPECT_EQ(engine.events_processed(), 7u);
+}
+
+Task<> sleeper(Engine& engine, Time dt, Time* woke_at) {
+  co_await engine.delay(dt);
+  *woke_at = engine.now();
+}
+
+TEST(Process, DelaySuspendsForSimulatedTime) {
+  Engine engine;
+  Time woke_at = -1;
+  engine.spawn(sleeper(engine, 1234, &woke_at));
+  engine.run();
+  EXPECT_EQ(woke_at, 1234);
+  EXPECT_EQ(engine.unfinished_processes(), 0u);
+}
+
+Task<int> add_later(Engine& engine, int a, int b) {
+  co_await engine.delay(10);
+  co_return a + b;
+}
+
+Task<> caller(Engine& engine, int* out) {
+  // Nested awaits: the child task runs inline in simulated time.
+  const int x = co_await add_later(engine, 2, 3);
+  const int y = co_await add_later(engine, x, 10);
+  *out = y;
+}
+
+TEST(Process, NestedTasksComposeAndReturnValues) {
+  Engine engine;
+  int result = 0;
+  engine.spawn(caller(engine, &result));
+  engine.run();
+  EXPECT_EQ(result, 15);
+  EXPECT_EQ(engine.now(), 20);
+}
+
+Task<> thrower(Engine& engine) {
+  co_await engine.delay(5);
+  throw std::runtime_error("boom");
+}
+
+TEST(Process, ExceptionsPropagateFromRun) {
+  Engine engine;
+  engine.spawn(thrower(engine));
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+Task<> catcher(Engine& engine, bool* caught) {
+  try {
+    co_await thrower(engine);
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(Process, ExceptionsPropagateThroughNestedAwait) {
+  Engine engine;
+  bool caught = false;
+  engine.spawn(catcher(engine, &caught));
+  engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Process, UnfinishedProcessesDetected) {
+  Engine engine;
+  Channel<int> never(engine);
+  engine.spawn([](Channel<int>& ch) -> Task<> {
+    co_await ch.pop();  // no one ever pushes
+  }(never));
+  engine.run();
+  EXPECT_EQ(engine.unfinished_processes(), 1u);
+}
+
+Task<> producer(Engine& engine, Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await engine.delay(10);
+    ch.push(i);
+  }
+}
+
+Task<> consumer(Channel<int>& ch, int n, std::vector<int>* got) {
+  for (int i = 0; i < n; ++i) {
+    got->push_back(co_await ch.pop());
+  }
+}
+
+TEST(Channel, DeliversInFifoOrder) {
+  Engine engine;
+  Channel<int> ch(engine);
+  std::vector<int> got;
+  engine.spawn(producer(engine, ch, 5));
+  engine.spawn(consumer(ch, 5, &got));
+  engine.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(engine.unfinished_processes(), 0u);
+}
+
+TEST(Channel, BuffersWhenNoReceiver) {
+  Engine engine;
+  Channel<int> ch(engine);
+  ch.push(1);
+  ch.push(2);
+  EXPECT_EQ(ch.size(), 2u);
+  std::vector<int> got;
+  engine.spawn(consumer(ch, 2, &got));
+  engine.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+Task<> tagged_consumer(Channel<int>& ch, int id, std::vector<int>* order) {
+  co_await ch.pop();
+  order->push_back(id);
+}
+
+TEST(Channel, WaitersWakeInArrivalOrder) {
+  // Two receivers queue before any item exists; pushes must wake them in
+  // the order they arrived (no stealing by the later receiver).
+  Engine engine;
+  Channel<int> ch(engine);
+  std::vector<int> order;
+  engine.spawn(tagged_consumer(ch, 1, &order));
+  engine.spawn(tagged_consumer(ch, 2, &order));
+  engine.schedule_in(100, [&] { ch.push(42); });
+  engine.schedule_in(200, [&] { ch.push(43); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Time, SecondConversionRoundTrips) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(1e-6), kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kMillisecond), 1e-3);
+  EXPECT_EQ(from_seconds(to_seconds(123456789)), 123456789);
+}
+
+}  // namespace
+}  // namespace ctesim::sim

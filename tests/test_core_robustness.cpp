@@ -1,0 +1,171 @@
+// Robustness tests for the DES core: dynamic spawning, multi-failure
+// handling, move-only channel payloads, zero-delay ordering.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/engine.h"
+#include "core/sync.h"
+#include "core/task.h"
+
+namespace ctesim::sim {
+namespace {
+
+Task<> child(Engine& engine, Time dt, std::vector<Time>* log) {
+  co_await engine.delay(dt);
+  log->push_back(engine.now());
+}
+
+Task<> spawner(Engine& engine, std::vector<Time>* log) {
+  co_await engine.delay(10);
+  // Spawning from inside a running process must work (the new process
+  // starts at the current simulated time).
+  engine.spawn(child(engine, 5, log));
+  co_await engine.delay(100);
+  log->push_back(engine.now());
+}
+
+TEST(EngineRobustness, SpawnDuringRun) {
+  Engine engine;
+  std::vector<Time> log;
+  engine.spawn(spawner(engine, &log));
+  engine.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 15);   // child finished at 10 + 5
+  EXPECT_EQ(log[1], 110);  // spawner at 10 + 100
+  EXPECT_EQ(engine.unfinished_processes(), 0u);
+}
+
+Task<> fails_at(Engine& engine, Time t, const char* what) {
+  co_await engine.delay(t);
+  throw std::runtime_error(what);
+}
+
+TEST(EngineRobustness, FirstFailureReportedOthersContained) {
+  Engine engine;
+  engine.spawn(fails_at(engine, 10, "first"));
+  engine.spawn(fails_at(engine, 20, "second"));
+  // run() drains the queue, then rethrows a stored failure.
+  try {
+    engine.run();
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(what == "first" || what == "second");
+  }
+}
+
+TEST(EngineRobustness, ZeroDelayPreservesProgramOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.spawn([](Engine& eng, std::vector<int>* log,
+                    int id) -> Task<> {
+      co_await eng.delay(0);  // ready-path, no suspension
+      log->push_back(id);
+      co_await eng.delay(7);
+      log->push_back(id + 100);
+    }(engine, &order, i));
+  }
+  engine.run();
+  ASSERT_EQ(order.size(), 10u);
+  // First wave in spawn order, second wave in spawn order.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(order[static_cast<std::size_t>(5 + i)], i + 100);
+  }
+}
+
+Task<> move_producer(Engine& engine, Channel<std::unique_ptr<int>>& ch) {
+  for (int i = 0; i < 3; ++i) {
+    co_await engine.delay(1);
+    ch.push(std::make_unique<int>(i));
+  }
+}
+
+Task<> move_consumer(Channel<std::unique_ptr<int>>& ch, int* sum) {
+  for (int i = 0; i < 3; ++i) {
+    auto v = co_await ch.pop();
+    *sum += *v;
+  }
+}
+
+TEST(ChannelRobustness, MoveOnlyPayloads) {
+  Engine engine;
+  Channel<std::unique_ptr<int>> ch(engine);
+  int sum = 0;
+  engine.spawn(move_producer(engine, ch));
+  engine.spawn(move_consumer(ch, &sum));
+  engine.run();
+  EXPECT_EQ(sum, 0 + 1 + 2);
+}
+
+TEST(ChannelRobustness, ManyProducersOneConsumerFifoPerProducer) {
+  Engine engine;
+  Channel<int> ch(engine);
+  for (int p = 0; p < 3; ++p) {
+    engine.spawn([](Engine& eng, Channel<int>& c, int producer) -> Task<> {
+      for (int i = 0; i < 4; ++i) {
+        co_await eng.delay(10);
+        c.push(producer * 10 + i);
+      }
+    }(engine, ch, p));
+  }
+  std::vector<int> got;
+  engine.spawn([](Channel<int>& c, std::vector<int>* out) -> Task<> {
+    for (int i = 0; i < 12; ++i) out->push_back(co_await c.pop());
+  }(ch, &got));
+  engine.run();
+  ASSERT_EQ(got.size(), 12u);
+  // Per-producer order is preserved even though producers interleave.
+  for (int p = 0; p < 3; ++p) {
+    int last = -1;
+    for (int v : got) {
+      if (v / 10 == p) {
+        EXPECT_GT(v % 10, last);
+        last = v % 10;
+      }
+    }
+    EXPECT_EQ(last, 3);
+  }
+}
+
+TEST(EngineRobustness, RunUntilThenRunCompletes) {
+  Engine engine;
+  std::vector<Time> log;
+  engine.spawn(child(engine, 100, &log));
+  engine.spawn(child(engine, 300, &log));
+  EXPECT_FALSE(engine.run_until(200));
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(engine.unfinished_processes(), 1u);
+  engine.run();
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(engine.unfinished_processes(), 0u);
+}
+
+Task<> event_chain(Engine& engine, Event& a, Event& b) {
+  co_await a.wait();
+  co_await engine.delay(5);
+  b.set();
+}
+
+TEST(SyncRobustness, EventChainsCompose) {
+  Engine engine;
+  Event a(engine);
+  Event b(engine);
+  Time b_seen = -1;
+  engine.spawn(event_chain(engine, a, b));
+  engine.spawn([](Engine& eng, Event& evt, Time* when) -> Task<> {
+    co_await evt.wait();
+    *when = eng.now();
+  }(engine, b, &b_seen));
+  engine.schedule_in(50, [&] { a.set(); });
+  engine.run();
+  EXPECT_EQ(b_seen, 55);
+}
+
+}  // namespace
+}  // namespace ctesim::sim

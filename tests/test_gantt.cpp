@@ -1,0 +1,56 @@
+// Tests for the Gantt timeline renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/gantt.h"
+
+namespace ctesim::report {
+namespace {
+
+std::vector<mpi::TraceRecord> sample_trace() {
+  return {
+      {0, 0.0, 0.6, "compute", "k", 0, -1},
+      {0, 0.6, 0.7, "send", "", 100, 1},
+      {1, 0.0, 0.2, "compute", "k", 0, -1},
+      {1, 0.2, 1.0, "recv", "", 100, 0},
+  };
+}
+
+TEST(Gantt, ComputesBusyFractions) {
+  const Gantt gantt("t", sample_trace(), 2, 40);
+  EXPECT_DOUBLE_EQ(gantt.makespan(), 1.0);
+  EXPECT_NEAR(gantt.busy_fraction(0, "compute"), 0.6, 1e-12);
+  EXPECT_NEAR(gantt.busy_fraction(0, "send"), 0.1, 1e-12);
+  EXPECT_NEAR(gantt.busy_fraction(1, "recv"), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(gantt.busy_fraction(1, "send"), 0.0);
+}
+
+TEST(Gantt, RendersOneLanePerRank) {
+  const Gantt gantt("lanes", sample_trace(), 2, 40);
+  std::ostringstream os;
+  gantt.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("r0"), std::string::npos);
+  EXPECT_NE(out.find("r1"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('>'), std::string::npos);
+  EXPECT_NE(out.find('<'), std::string::npos);
+  EXPECT_NE(out.find("makespan"), std::string::npos);
+}
+
+TEST(Gantt, EmptyTraceHandled) {
+  const Gantt gantt("empty", {}, 3, 40);
+  std::ostringstream os;
+  gantt.print(os);
+  EXPECT_NE(os.str().find("(empty trace)"), std::string::npos);
+  EXPECT_DOUBLE_EQ(gantt.makespan(), 0.0);
+}
+
+TEST(Gantt, RejectsBadRanks) {
+  std::vector<mpi::TraceRecord> bad{{5, 0.0, 1.0, "compute", "", 0, -1}};
+  EXPECT_THROW(Gantt("x", bad, 2, 40), ContractError);
+}
+
+}  // namespace
+}  // namespace ctesim::report

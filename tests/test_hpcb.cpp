@@ -1,0 +1,142 @@
+// Tests for the HPL and HPCG models against the paper's Fig. 6 / Fig. 7 /
+// Table IV anchors.
+#include <gtest/gtest.h>
+
+#include "arch/configs.h"
+#include "hpcb/hpcg.h"
+#include "hpcb/hpl.h"
+#include "kernels/dense.h"
+#include "kernels/multigrid.h"
+#include "util/rng.h"
+
+namespace ctesim::hpcb {
+namespace {
+
+HplModel cte_hpl() {
+  const auto m = arch::cte_arm();
+  return HplModel(m, hpl_config_for(m));
+}
+
+HplModel mn4_hpl() {
+  const auto m = arch::marenostrum4();
+  return HplModel(m, hpl_config_for(m));
+}
+
+TEST(Hpl, ProblemSizeUses80PercentOfMemory) {
+  const auto point = cte_hpl().run(192);
+  const double bytes = point.n * point.n * 8.0;
+  const double mem = 192 * 32.0e9;
+  EXPECT_GE(bytes, 0.78 * mem);
+  EXPECT_LE(bytes, 0.82 * mem);
+}
+
+TEST(Hpl, GridIsFactorization) {
+  const auto point = cte_hpl().run(48);
+  EXPECT_EQ(point.p * point.q, 48 * 4);  // 4 ranks/node on CTE-Arm
+  EXPECT_LE(point.p, point.q);
+  const auto mn4 = mn4_hpl().run(48);
+  EXPECT_EQ(mn4.p * mn4.q, 48);  // 1 rank/node on MN4
+}
+
+TEST(Hpl, CteArmReaches85PercentAt192Nodes) {
+  const auto point = cte_hpl().run(192);
+  EXPECT_NEAR(point.efficiency, 0.85, 0.02);
+}
+
+TEST(Hpl, MareNostrumReaches63PercentAt192Nodes) {
+  const auto point = mn4_hpl().run(192);
+  EXPECT_NEAR(point.efficiency, 0.63, 0.03);
+}
+
+TEST(Hpl, SingleNodeSpeedupMatchesTableIV) {
+  const auto cte = cte_hpl().run(1);
+  const auto mn4 = mn4_hpl().run(1);
+  EXPECT_NEAR(cte.gflops / mn4.gflops, 1.25, 0.08);
+}
+
+TEST(Hpl, SpeedupGrowsWithScale) {
+  // Table IV: LINPACK speedup 1.25 (1 node) .. ~1.4-1.7 (128-192 nodes).
+  const double s1 = cte_hpl().run(1).gflops / mn4_hpl().run(1).gflops;
+  const double s192 = cte_hpl().run(192).gflops / mn4_hpl().run(192).gflops;
+  EXPECT_GT(s192, s1);
+  EXPECT_NEAR(s192, 1.40, 0.12);
+}
+
+TEST(Hpl, EfficiencyDecreasesWithScale) {
+  const auto m = mn4_hpl();
+  double prev = 1.0;
+  for (int nodes : {1, 16, 64, 192}) {
+    const auto point = m.run(nodes);
+    EXPECT_LT(point.efficiency, prev);
+    prev = point.efficiency;
+  }
+}
+
+TEST(Hpl, NativeLuValidatesTheAlgorithm) {
+  // The model's algorithm is real: the native blocked LU solves systems to
+  // HPL accuracy (smoke-check here; thorough coverage in test_kernels).
+  kernels::Matrix a(64, 64);
+  ctesim::Rng rng(99);
+  std::vector<double> b(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    b[i] = rng.uniform(-1, 1);
+    for (std::size_t j = 0; j < 64; ++j) a.at(i, j) = rng.uniform(-1, 1);
+  }
+  kernels::Matrix lu = a;
+  std::vector<std::size_t> pivots;
+  ASSERT_TRUE(kernels::lu_factor(lu, pivots));
+  EXPECT_LT(kernels::hpl_residual(a, kernels::lu_solve(lu, pivots, b), b),
+            16.0);
+}
+
+// ------------------------------------------------------------- HPCG -----
+
+TEST(Hpcg, CteArmOptimizedNear291PercentOfPeak) {
+  HpcgModel model(arch::cte_arm());
+  const auto point = model.run(1, HpcgBuild::kOptimized);
+  EXPECT_NEAR(point.peak_fraction, 0.0291, 0.0015);
+  EXPECT_NEAR(point.gflops, 98.3, 5.0);
+}
+
+TEST(Hpcg, CteArm192NodesNear296Percent) {
+  HpcgModel model(arch::cte_arm());
+  const auto point = model.run(192, HpcgBuild::kOptimized);
+  EXPECT_NEAR(point.peak_fraction, 0.0296, 0.0015);
+}
+
+TEST(Hpcg, SpeedupMatchesTableIV) {
+  HpcgModel cte(arch::cte_arm());
+  HpcgModel mn4(arch::marenostrum4());
+  const double s1 = cte.run(1, HpcgBuild::kOptimized).gflops /
+                    mn4.run(1, HpcgBuild::kOptimized).gflops;
+  const double s192 = cte.run(192, HpcgBuild::kOptimized).gflops /
+                      mn4.run(192, HpcgBuild::kOptimized).gflops;
+  EXPECT_NEAR(s1, 2.50, 0.15);
+  EXPECT_NEAR(s192, 3.24, 0.20);
+}
+
+TEST(Hpcg, VanillaSlowerThanOptimized) {
+  for (const auto& machine : {arch::cte_arm(), arch::marenostrum4()}) {
+    HpcgModel model(machine);
+    const auto vanilla = model.run(1, HpcgBuild::kVanilla);
+    const auto optimized = model.run(1, HpcgBuild::kOptimized);
+    EXPECT_LT(vanilla.gflops, optimized.gflops) << machine.name;
+  }
+}
+
+TEST(Hpcg, HpcgWellBelowHplEfficiency) {
+  // The paper's closing remark: HPCG is ~3% of peak while HPL is >60%.
+  HpcgModel hpcg(arch::cte_arm());
+  const auto h = hpcg.run(192, HpcgBuild::kOptimized);
+  const auto l = cte_hpl().run(192);
+  EXPECT_LT(h.peak_fraction, 0.05);
+  EXPECT_GT(l.efficiency, 0.6);
+}
+
+TEST(Hpcg, NativeMiniHpcgValidates) {
+  const auto r = kernels::run_mini_hpcg(16, 16, 16, 50, 1e-9);
+  EXPECT_TRUE(r.converged);
+}
+
+}  // namespace
+}  // namespace ctesim::hpcb

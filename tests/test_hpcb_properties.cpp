@@ -1,0 +1,110 @@
+// Property sweeps over the HPL/HPCG models plus the transpose kernel that
+// backs the spectral transposition methodology.
+#include <gtest/gtest.h>
+
+#include "arch/configs.h"
+#include "hpcb/hpcg.h"
+#include "hpcb/hpl.h"
+#include "kernels/transpose.h"
+#include "util/rng.h"
+
+namespace ctesim {
+namespace {
+
+class HplNodes : public ::testing::TestWithParam<int> {};
+
+TEST_P(HplNodes, ThroughputGrowsAndEfficiencyShrinks) {
+  const int nodes = GetParam();
+  for (const auto& machine : {arch::cte_arm(), arch::marenostrum4()}) {
+    hpcb::HplModel model(machine, hpcb::hpl_config_for(machine));
+    const auto small = model.run(nodes);
+    const auto big = model.run(nodes * 2);
+    EXPECT_GT(big.gflops, small.gflops) << machine.name;
+    EXPECT_LE(big.efficiency, small.efficiency + 1e-9) << machine.name;
+    // Efficiency is a fraction; GFlop/s below aggregate peak.
+    EXPECT_GT(small.efficiency, 0.0);
+    EXPECT_LT(small.efficiency, 1.0);
+    EXPECT_LT(small.gflops * 1e9, machine.node.peak_flops() * nodes);
+  }
+}
+
+TEST_P(HplNodes, ProblemScalesWithMemory) {
+  const int nodes = GetParam();
+  const auto machine = arch::cte_arm();
+  hpcb::HplModel model(machine, hpcb::hpl_config_for(machine));
+  const auto a = model.run(nodes);
+  const auto b = model.run(nodes * 4);
+  // N ~ sqrt(memory): quadrupling nodes doubles N.
+  EXPECT_NEAR(b.n / a.n, 2.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, HplNodes, ::testing::Values(1, 4, 16, 48));
+
+class HpcgNodes : public ::testing::TestWithParam<int> {};
+
+TEST_P(HpcgNodes, PerNodeRateNearlyFlat) {
+  const int nodes = GetParam();
+  hpcb::HpcgModel model(arch::cte_arm());
+  const auto one = model.run(1, hpcb::HpcgBuild::kOptimized);
+  const auto many = model.run(nodes, hpcb::HpcgBuild::kOptimized);
+  // HPCG weak-scales: per-node GFlop/s within a few percent of 1 node.
+  EXPECT_NEAR(many.gflops_per_node / one.gflops_per_node, 1.0, 0.05);
+}
+
+TEST_P(HpcgNodes, OptimizedAlwaysAboveVanilla) {
+  const int nodes = GetParam();
+  for (const auto& machine : {arch::cte_arm(), arch::marenostrum4()}) {
+    hpcb::HpcgModel model(machine);
+    EXPECT_GT(model.run(nodes, hpcb::HpcgBuild::kOptimized).gflops,
+              model.run(nodes, hpcb::HpcgBuild::kVanilla).gflops)
+        << machine.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, HpcgNodes, ::testing::Values(2, 16, 192));
+
+// ------------------------------------------------------------ transpose --
+
+class TransposeShape
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(TransposeShape, TransposeIsInvolution) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows * 131 + cols);
+  std::vector<double> m(rows * cols);
+  for (auto& v : m) v = rng.uniform(-1, 1);
+  std::vector<double> t, tt;
+  kernels::transpose_blocked(m, rows, cols, t, 8);
+  kernels::transpose_blocked(t, cols, rows, tt, 8);
+  EXPECT_EQ(tt, m);
+}
+
+TEST_P(TransposeShape, PackUnpackRoundTripsEveryPartition) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows + cols * 977);
+  std::vector<double> m(rows * cols);
+  for (auto& v : m) v = rng.uniform(-1, 1);
+  for (std::size_t parts : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                            cols}) {
+    if (parts > cols) continue;
+    std::vector<double> rebuilt(rows * cols, -999.0);
+    for (std::size_t part = 0; part < parts; ++part) {
+      std::vector<double> buffer;
+      kernels::pack_columns(m, rows, cols, parts, part, buffer);
+      kernels::unpack_columns(buffer, rows, cols, parts, part, rebuilt);
+    }
+    EXPECT_EQ(rebuilt, m) << parts << " parts";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TransposeShape,
+    ::testing::Values(std::tuple<std::size_t, std::size_t>{1, 1},
+                      std::tuple<std::size_t, std::size_t>{7, 5},
+                      std::tuple<std::size_t, std::size_t>{32, 32},
+                      std::tuple<std::size_t, std::size_t>{33, 65},
+                      std::tuple<std::size_t, std::size_t>{128, 3}));
+
+}  // namespace
+}  // namespace ctesim

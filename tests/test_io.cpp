@@ -1,0 +1,80 @@
+// Tests for the parallel-filesystem model.
+#include <gtest/gtest.h>
+
+#include "apps/wrf.h"
+#include "arch/configs.h"
+#include "io/filesystem.h"
+
+namespace ctesim::io {
+namespace {
+
+FilesystemModel small_fs() {
+  FilesystemConfig config;
+  config.osts = 16;
+  config.ost_bw = 1.0e9;
+  config.default_stripe_count = 2;
+  config.metadata_latency = 1.0e-3;
+  return FilesystemModel(config, arch::cte_arm().interconnect);
+}
+
+TEST(Filesystem, StripeBandwidthCappedByPool) {
+  const auto fs = small_fs();
+  EXPECT_DOUBLE_EQ(fs.stripe_bw(1), 1.0e9);
+  EXPECT_DOUBLE_EQ(fs.stripe_bw(3), 3.0e9);
+  EXPECT_DOUBLE_EQ(fs.stripe_bw(100), 16.0e9);  // only 16 OSTs exist
+}
+
+TEST(Filesystem, SerialWriteDominatedBySlowestStage) {
+  const auto fs = small_fs();
+  const std::uint64_t gib = 1ull << 30;
+  const double t = fs.serial_write_seconds(gib);
+  // Gather at ~6.26 GB/s + drain at min(6.26, 2 x 1) = 2 GB/s + metadata.
+  const double expect = 1e-3 + gib / 6.256e9 + gib / 2.0e9;
+  EXPECT_NEAR(t, expect, 0.02 * expect);
+}
+
+TEST(Filesystem, ParallelWriteScalesUntilPoolLimit) {
+  const auto fs = small_fs();
+  const std::uint64_t gib = 1ull << 30;
+  const double w1 = fs.parallel_write_seconds(gib, 1);
+  const double w4 = fs.parallel_write_seconds(gib, 4);
+  const double w64 = fs.parallel_write_seconds(gib, 64);
+  EXPECT_LT(w4, w1);
+  // Beyond pool saturation more writers stop helping.
+  EXPECT_NEAR(w64, gib / 16.0e9 + 1e-3, 1e-6);
+  EXPECT_NEAR(w64, fs.parallel_write_seconds(gib, 1000), 1e-9);
+}
+
+TEST(Filesystem, ParallelBeatsSerialForLargeFrames) {
+  const auto fs = production_filesystem(arch::cte_arm());
+  const std::uint64_t frame = 512ull << 20;
+  EXPECT_LT(fs.parallel_write_seconds(frame, 32),
+            fs.serial_write_seconds(frame));
+}
+
+TEST(Filesystem, MetadataFloorsSmallWrites) {
+  const auto fs = production_filesystem(arch::cte_arm());
+  EXPECT_GE(fs.serial_write_seconds(1), fs.config().metadata_latency);
+  EXPECT_GE(fs.parallel_write_seconds(1, 64), fs.config().metadata_latency);
+}
+
+TEST(Filesystem, RejectsBadConfigs) {
+  FilesystemConfig config;
+  config.osts = 0;
+  EXPECT_THROW(FilesystemModel(config, arch::cte_arm().interconnect),
+               ContractError);
+}
+
+TEST(WrfIo, ParallelIoReducesIoShare) {
+  apps::WrfConfig serial;
+  apps::WrfConfig parallel;
+  parallel.parallel_io = true;
+  const auto machine = arch::cte_arm();
+  const auto a = apps::run_wrf(machine, 16, serial);
+  const auto b = apps::run_wrf(machine, 16, parallel);
+  EXPECT_GT(a.io_time, b.io_time);
+  EXPECT_LT(b.total_time, a.total_time);
+}
+
+}  // namespace
+}  // namespace ctesim::io

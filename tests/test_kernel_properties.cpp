@@ -1,0 +1,193 @@
+// Property sweeps over the native numerical kernels: invariants that must
+// hold across problem sizes and parameters, not just the cases the unit
+// tests pin.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "kernels/dense.h"
+#include "kernels/fft.h"
+#include "kernels/md.h"
+#include "kernels/multigrid.h"
+#include "kernels/sparse.h"
+#include "kernels/stencil.h"
+#include "util/rng.h"
+
+namespace ctesim::kernels {
+namespace {
+
+// ------------------------------------------------------------------ FFT --
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, LinearityHolds) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<Complex> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    y[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  const Complex alpha(0.7, -0.3);
+  // FFT(alpha*x + y) == alpha*FFT(x) + FFT(y)
+  std::vector<Complex> combined(n);
+  for (std::size_t i = 0; i < n; ++i) combined[i] = alpha * x[i] + y[i];
+  auto fx = x;
+  auto fy = y;
+  fft(combined);
+  fft(fx);
+  fft(fy);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(combined[i] - (alpha * fx[i] + fy[i])), 0.0,
+                1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftSizes, InverseIsExactInverse) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 1);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto y = x;
+  ifft(y);
+  fft(y);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10 * static_cast<double>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 64, 512, 4096));
+
+// --------------------------------------------------------------- sparse --
+
+class GridSizes : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(GridSizes, Poisson27IsSymmetric) {
+  const auto [nx, ny, nz] = GetParam();
+  const auto a = build_poisson27(nx, ny, nz);
+  // Verify A == A^T via y1 = A*x, comparing x^T A y == y^T A x for random
+  // vectors (cheap symmetry witness).
+  Rng rng(17);
+  std::vector<double> x(a.rows), y(a.rows), ax, ay;
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    x[i] = rng.uniform(-1, 1);
+    y[i] = rng.uniform(-1, 1);
+  }
+  spmv(a, x, ax);
+  spmv(a, y, ay);
+  EXPECT_NEAR(dot(y, ax), dot(x, ay), 1e-9 * a.rows);
+}
+
+TEST_P(GridSizes, Poisson27IsPositiveDefiniteWitness) {
+  const auto [nx, ny, nz] = GetParam();
+  const auto a = build_poisson27(nx, ny, nz);
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> x(a.rows), ax;
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    spmv(a, x, ax);
+    EXPECT_GT(dot(x, ax), 0.0);
+  }
+}
+
+TEST_P(GridSizes, CgIterationCountGrowsSlowlyWithMg) {
+  const auto [nx, ny, nz] = GetParam();
+  if (nx % 4 || ny % 4 || nz % 4 || nx < 8) GTEST_SKIP();
+  const auto a = build_poisson27(nx, ny, nz);
+  std::vector<double> ones(a.rows, 1.0), b;
+  spmv(a, ones, b);
+  const MultigridHierarchy mg(nx, ny, nz, 2);
+  std::vector<double> x;
+  const auto r = conjugate_gradient(
+      a, b, x, 100, 1e-8,
+      [&mg](const std::vector<double>& rr, std::vector<double>& z) {
+        mg.v_cycle(rr, z);
+      });
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 30);  // MG keeps iterations ~size-independent
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridSizes,
+                         ::testing::Values(std::tuple{4, 4, 4},
+                                           std::tuple{8, 8, 8},
+                                           std::tuple{8, 4, 4},
+                                           std::tuple{5, 7, 3},
+                                           std::tuple{16, 8, 8}));
+
+// ------------------------------------------------------------------- LU --
+
+class LuProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuProperty, SolveIsRightInverseForManyRhs) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 7 + 1);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a.at(i, j) = rng.uniform(-1, 1);
+    a.at(i, i) += 4.0;  // keep it comfortably nonsingular
+  }
+  Matrix lu = a;
+  std::vector<std::size_t> pivots;
+  ASSERT_TRUE(lu_factor(lu, pivots));
+  for (int rhs = 0; rhs < 3; ++rhs) {
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.uniform(-1, 1);
+    const auto x = lu_solve(lu, pivots, b);
+    EXPECT_LT(hpl_residual(a, x, b), 16.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuProperty,
+                         ::testing::Values(1, 2, 7, 31, 32, 33, 96));
+
+// ------------------------------------------------------------------- MD --
+
+class MdDensity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MdDensity, PairCountTracksDensityEstimate) {
+  const std::size_t particles = GetParam();
+  const double box = 10.0;
+  MdSystem md(MdConfig{.particles = particles, .box = box, .cutoff = 2.0});
+  md.compute_forces();
+  // Expected pairs ~ N * (4/3 pi rc^3 rho) / 2 for a uniform gas.
+  const double rho = static_cast<double>(particles) / (box * box * box);
+  const double expected = static_cast<double>(particles) * 4.0 / 3.0 *
+                          std::numbers::pi * 8.0 * rho / 2.0;
+  const double measured = static_cast<double>(md.last_pair_count());
+  EXPECT_GT(measured, 0.5 * expected);
+  EXPECT_LT(measured, 2.0 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, MdDensity,
+                         ::testing::Values(128, 256, 512, 1024));
+
+// -------------------------------------------------------------- stencil --
+
+class StencilAlpha : public ::testing::TestWithParam<double> {};
+
+TEST_P(StencilAlpha, MaxPrincipleHolds) {
+  // Explicit diffusion with alpha <= 1/6 cannot create new extrema.
+  const double alpha = GetParam();
+  Grid3D g(6, 6, 6);
+  Rng rng(5);
+  for (auto& v : g.raw()) v = rng.uniform(0.0, 1.0);
+  double lo = 1e30, hi = -1e30;
+  for (double v : g.raw()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  diffuse(g, 25, alpha);
+  for (double v : g.raw()) {
+    EXPECT_GE(v, lo - 1e-12);
+    EXPECT_LE(v, hi + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, StencilAlpha,
+                         ::testing::Values(0.02, 0.08, 1.0 / 6.0));
+
+}  // namespace
+}  // namespace ctesim::kernels

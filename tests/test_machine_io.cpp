@@ -1,0 +1,126 @@
+// Tests for the machine-file parser/writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "arch/configs.h"
+#include "arch/machine_io.h"
+
+namespace ctesim::arch {
+namespace {
+
+void expect_machines_equal(const MachineModel& a, const MachineModel& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.integrator, b.integrator);
+  EXPECT_EQ(a.cpu_name, b.cpu_name);
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+  EXPECT_EQ(a.node.core.isa_name, b.node.core.isa_name);
+  EXPECT_EQ(a.node.core.uarch, b.node.core.uarch);
+  EXPECT_DOUBLE_EQ(a.node.core.freq_ghz, b.node.core.freq_ghz);
+  EXPECT_EQ(a.node.core.vector_bits, b.node.core.vector_bits);
+  EXPECT_EQ(a.node.core.fp16_vector, b.node.core.fp16_vector);
+  EXPECT_DOUBLE_EQ(a.node.core.ooo_scalar_efficiency,
+                   b.node.core.ooo_scalar_efficiency);
+  EXPECT_EQ(a.node.num_domains, b.node.num_domains);
+  EXPECT_EQ(a.node.domain.cores, b.node.domain.cores);
+  EXPECT_DOUBLE_EQ(a.node.domain.peak_bw, b.node.domain.peak_bw);
+  EXPECT_DOUBLE_EQ(a.node.domain.eff_ceiling, b.node.domain.eff_ceiling);
+  EXPECT_DOUBLE_EQ(a.node.single_process_bw_cap, b.node.single_process_bw_cap);
+  EXPECT_DOUBLE_EQ(a.node.shm_bw, b.node.shm_bw);
+  EXPECT_DOUBLE_EQ(a.node.l2_total_mb, b.node.l2_total_mb);
+  EXPECT_EQ(a.interconnect.kind, b.interconnect.kind);
+  EXPECT_EQ(a.interconnect.dims, b.interconnect.dims);
+  EXPECT_DOUBLE_EQ(a.interconnect.link_bw, b.interconnect.link_bw);
+  EXPECT_DOUBLE_EQ(a.interconnect.base_latency_s,
+                   b.interconnect.base_latency_s);
+  EXPECT_EQ(a.interconnect.eager_threshold, b.interconnect.eager_threshold);
+  EXPECT_DOUBLE_EQ(a.interconnect.long_dim_bw_penalty,
+                   b.interconnect.long_dim_bw_penalty);
+}
+
+TEST(MachineIo, RoundTripsCteArm) {
+  const auto original = cte_arm();
+  const auto parsed = parse_machine_string(machine_to_string(original));
+  expect_machines_equal(original, parsed);
+  // Derived quantities survive too.
+  EXPECT_DOUBLE_EQ(parsed.node.peak_flops(), original.node.peak_flops());
+  EXPECT_DOUBLE_EQ(parsed.node.single_process_bw(24),
+                   original.node.single_process_bw(24));
+}
+
+TEST(MachineIo, RoundTripsMareNostrum4) {
+  const auto original = marenostrum4();
+  const auto parsed = parse_machine_string(machine_to_string(original));
+  expect_machines_equal(original, parsed);
+}
+
+TEST(MachineIo, ParsesCommentsAndWhitespace) {
+  const auto m = parse_machine_string(
+      "; a comment\n"
+      "[machine]\n"
+      "  name =   Boxy   # trailing comment\n"
+      "nodes = 7\n"
+      "\n"
+      "[core]\n"
+      "uarch = skylake\n"
+      "freq_ghz = 3.5\n");
+  EXPECT_EQ(m.name, "Boxy");
+  EXPECT_EQ(m.num_nodes, 7);
+  EXPECT_EQ(m.node.core.uarch, MicroArch::kSkylake);
+  EXPECT_DOUBLE_EQ(m.node.core.freq_ghz, 3.5);
+}
+
+TEST(MachineIo, RejectsUnknownKey) {
+  EXPECT_THROW(parse_machine_string("[machine]\nwheels = 4\n"),
+               MachineParseError);
+}
+
+TEST(MachineIo, RejectsBadNumbers) {
+  EXPECT_THROW(parse_machine_string("[core]\nfreq_ghz = fast\n"),
+               MachineParseError);
+  EXPECT_THROW(parse_machine_string("[machine]\nnodes = many\n"),
+               MachineParseError);
+  EXPECT_THROW(parse_machine_string("[core]\nfp16_vector = maybe\n"),
+               MachineParseError);
+}
+
+TEST(MachineIo, RejectsMalformedStructure) {
+  EXPECT_THROW(parse_machine_string("[machine\nname = x\n"),
+               MachineParseError);
+  EXPECT_THROW(parse_machine_string("[machine]\njust some text\n"),
+               MachineParseError);
+  EXPECT_THROW(parse_machine_string("[core]\nuarch = riscv\n"),
+               MachineParseError);
+}
+
+TEST(MachineIo, ErrorsCarryLineNumbers) {
+  try {
+    parse_machine_string("[machine]\nname = ok\nbogus_key = 1\n");
+    FAIL() << "expected MachineParseError";
+  } catch (const MachineParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(MachineIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "ctesim_machine_test.ini";
+  save_machine_file(path, cte_arm());
+  const auto loaded = load_machine_file(path);
+  expect_machines_equal(cte_arm(), loaded);
+  std::remove(path.c_str());
+}
+
+TEST(MachineIo, MissingFileThrows) {
+  EXPECT_THROW(load_machine_file("/nonexistent/machine.ini"),
+               MachineParseError);
+}
+
+TEST(MachineIo, TorusDimsParseAsList) {
+  const auto m = parse_machine_string(
+      "[interconnect]\nkind = torus\ndims = 4 2 2 2 3 2\n");
+  EXPECT_EQ(m.interconnect.dims, (std::vector<int>{4, 2, 2, 2, 3, 2}));
+}
+
+}  // namespace
+}  // namespace ctesim::arch

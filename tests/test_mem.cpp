@@ -1,0 +1,115 @@
+// Tests for the STREAM simulator against the paper's Fig. 2 / Fig. 3
+// anchor numbers.
+#include <gtest/gtest.h>
+
+#include "arch/configs.h"
+#include "mem/stream_sim.h"
+
+namespace ctesim::mem {
+namespace {
+
+using arch::Language;
+
+TEST(StreamSim, Fig2CteArmPeaksNear24Threads) {
+  StreamSimulator sim(arch::cte_arm());
+  // Paper: 292.0 GB/s best (29% of peak), reached around 24 threads, C.
+  double best = 0.0;
+  int best_threads = 0;
+  for (int t = 1; t <= 48; ++t) {
+    const double bw = sim.omp_bandwidth(StreamKernel::kTriad, t, Language::kC);
+    if (bw > best) {
+      best = bw;
+      best_threads = t;
+    }
+  }
+  EXPECT_NEAR(best, 292.0e9, 5.0e9);
+  EXPECT_GE(best_threads, 20);
+  EXPECT_LE(best_threads, 28);
+  EXPECT_NEAR(best / arch::cte_arm().node.peak_bw(), 0.29, 0.01);
+}
+
+TEST(StreamSim, Fig2MareNostrumBestAt48Threads) {
+  StreamSimulator sim(arch::marenostrum4());
+  // Paper: 201.2 GB/s (66% of peak) with 48 threads.
+  double best = 0.0;
+  int best_threads = 0;
+  for (int t = 1; t <= 48; ++t) {
+    const double bw = sim.omp_bandwidth(StreamKernel::kTriad, t, Language::kC);
+    if (bw >= best) {
+      best = bw;
+      best_threads = t;
+    }
+  }
+  EXPECT_EQ(best_threads, 48);
+  EXPECT_NEAR(best, 201.2e9, 4.0e9);
+  // Note: the paper calls 201.2 GB/s "66% of the peak", but per its own
+  // Table I peak of 256 GB/s the ratio is 78.6%. We reproduce the absolute
+  // bandwidth; the percentage in the text is internally inconsistent.
+  EXPECT_NEAR(best / arch::marenostrum4().node.peak_bw(), 0.786, 0.02);
+}
+
+TEST(StreamSim, Fig2LanguageFactorOnCteArm) {
+  StreamSimulator sim(arch::cte_arm());
+  // Paper: "C running ~10% faster than Fortran" (OpenMP-only, A64FX).
+  const double c = sim.omp_bandwidth(StreamKernel::kTriad, 24, Language::kC);
+  const double f =
+      sim.omp_bandwidth(StreamKernel::kTriad, 24, Language::kFortran);
+  EXPECT_NEAR(c / f, 1.10, 0.01);
+}
+
+TEST(StreamSim, Fig3HybridFortranReaches84Percent) {
+  StreamSimulator sim(arch::cte_arm());
+  const double bw =
+      sim.hybrid_bandwidth(StreamKernel::kTriad, 4, 12, Language::kFortran);
+  EXPECT_NEAR(bw, 862.6e9, 3.0e9);
+  EXPECT_NEAR(bw / arch::cte_arm().node.peak_bw(), 0.84, 0.01);
+}
+
+TEST(StreamSim, Fig3HybridCAnomaly) {
+  StreamSimulator sim(arch::cte_arm());
+  // Paper: C hybrid reaches only 421.1 GB/s (no explanation given).
+  const double c =
+      sim.hybrid_bandwidth(StreamKernel::kTriad, 4, 12, Language::kC);
+  EXPECT_NEAR(c, 421.1e9, 3.0e9);
+}
+
+TEST(StreamSim, HybridMatchesOmpOnMareNostrum) {
+  StreamSimulator sim(arch::marenostrum4());
+  const double hybrid =
+      sim.hybrid_bandwidth(StreamKernel::kTriad, 2, 24, Language::kFortran);
+  const double omp =
+      sim.omp_bandwidth(StreamKernel::kTriad, 48, Language::kFortran);
+  // On MN4 there is no single-process penalty: both layouts saturate DDR4.
+  EXPECT_NEAR(hybrid / omp, 1.0, 0.05);
+}
+
+TEST(StreamSim, KernelOrdering) {
+  StreamSimulator sim(arch::cte_arm());
+  // Triad/Add >= Copy/Scale, as in every published STREAM table.
+  const auto at = [&](StreamKernel k) {
+    return sim.omp_bandwidth(k, 24, Language::kC);
+  };
+  EXPECT_GE(at(StreamKernel::kTriad), at(StreamKernel::kCopy));
+  EXPECT_GE(at(StreamKernel::kAdd), at(StreamKernel::kScale));
+}
+
+TEST(StreamSim, MinElementsRule) {
+  // E >= max(1e7, 4*S/8): both machines have S small enough that the 1e7
+  // floor wins for MN4's L3+L2 (114 MiB -> 59.8e6... actually above 1e7).
+  StreamSimulator cte(arch::cte_arm());
+  EXPECT_EQ(cte.min_elements(),
+            static_cast<std::size_t>(4.0 * 32.0 * 1024 * 1024 / 8.0));
+  StreamSimulator mn4(arch::marenostrum4());
+  EXPECT_EQ(mn4.min_elements(),
+            static_cast<std::size_t>(4.0 * 114.0 * 1024 * 1024 / 8.0));
+}
+
+TEST(StreamSim, BytesPerElement) {
+  EXPECT_EQ(bytes_per_element(StreamKernel::kCopy), 16u);
+  EXPECT_EQ(bytes_per_element(StreamKernel::kScale), 16u);
+  EXPECT_EQ(bytes_per_element(StreamKernel::kAdd), 24u);
+  EXPECT_EQ(bytes_per_element(StreamKernel::kTriad), 24u);
+}
+
+}  // namespace
+}  // namespace ctesim::mem

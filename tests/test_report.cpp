@@ -1,0 +1,128 @@
+// Tests for the reporting layer: tables, charts, heatmaps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/plot.h"
+#include "report/table.h"
+#include "util/check.h"
+
+namespace ctesim::report {
+namespace {
+
+TEST(TableTest, AlignsColumnsAndRows) {
+  Table t("demo", {"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Two data lines + header + rule + title.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(TableTest, NumericRowFormatsWithPrecision) {
+  Table t("", {"label", "x", "y"});
+  t.row("p", {1.23456, 2.0}, 3);
+  EXPECT_EQ(t.cell(0, 1), "1.235");
+  EXPECT_EQ(t.cell(0, 2), "2.000");
+}
+
+TEST(TableTest, RejectsMismatchedRow) {
+  Table t("", {"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), ContractError);
+  EXPECT_THROW(t.row("label", {1.0, 2.0}), ContractError);
+}
+
+TEST(TableTest, MarkdownOutput) {
+  Table t("md", {"k", "v"});
+  t.row({"x", "1"});
+  std::ostringstream os;
+  t.print_markdown(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("### md"), std::string::npos);
+  EXPECT_NE(out.find("| k | v |"), std::string::npos);
+  EXPECT_NE(out.find("| --- | ---: |"), std::string::npos);
+  EXPECT_NE(out.find("| x | 1 |"), std::string::npos);
+}
+
+TEST(Fixed, FormatsDoubles) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(LineChartTest, RendersSeriesAndLegend) {
+  LineChart chart("scaling", 40, 10);
+  chart.set_axis_labels("nodes", "time");
+  chart.series("fast", {1, 2, 4}, {4, 2, 1});
+  chart.series("slow", {1, 2, 4}, {8, 4, 2});
+  std::ostringstream os;
+  chart.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("-- scaling --"), std::string::npos);
+  EXPECT_NE(out.find("o = fast"), std::string::npos);
+  EXPECT_NE(out.find("x = slow"), std::string::npos);
+  EXPECT_NE(out.find("nodes"), std::string::npos);
+  // Markers appear on the canvas.
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(LineChartTest, LogAxesLabelled) {
+  LineChart chart("log", 40, 8);
+  chart.set_log_x(true);
+  chart.set_log_y(true);
+  chart.series("s", {1, 10, 100}, {1, 100, 10000});
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_NE(os.str().find("log scale"), std::string::npos);
+  EXPECT_NE(os.str().find("(log)"), std::string::npos);
+}
+
+TEST(LineChartTest, EmptyChartDoesNotCrash) {
+  LineChart chart("empty", 40, 8);
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_NE(os.str().find("(no data)"), std::string::npos);
+}
+
+TEST(LineChartTest, RejectsMismatchedSeries) {
+  LineChart chart("bad", 40, 8);
+  EXPECT_THROW(chart.series("s", {1, 2}, {1}), ContractError);
+}
+
+TEST(HeatmapTest, ShadesByValue) {
+  Heatmap map("m", 2, 2);
+  map.set(0, 0, 0.0);
+  map.set(0, 1, 1.0);
+  map.set(1, 0, 0.5);
+  map.set(1, 1, 1.0);
+  EXPECT_DOUBLE_EQ(map.get(1, 0), 0.5);
+  std::ostringstream os;
+  map.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('@'), std::string::npos);  // the max cell
+  EXPECT_NE(out.find(' '), std::string::npos);  // the min cell
+}
+
+TEST(HeatmapTest, PoolsLargeMatrices) {
+  Heatmap map("big", 192, 192);
+  map.set(191, 191, 5.0);
+  std::ostringstream os;
+  map.print(os, 96);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("max-pooled"), std::string::npos);
+  // 96 output rows of 96 cols each between '|' guards.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2 + 96);
+}
+
+TEST(HeatmapTest, BoundsChecked) {
+  Heatmap map("m", 2, 3);
+  EXPECT_THROW(map.set(2, 0, 1.0), ContractError);
+  EXPECT_THROW(map.get(0, 3), ContractError);
+}
+
+}  // namespace
+}  // namespace ctesim::report

@@ -1,0 +1,94 @@
+// Tests for the job-scheduler allocation policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/configs.h"
+#include "net/topology.h"
+#include "sched/allocator.h"
+
+namespace ctesim::sched {
+namespace {
+
+net::TorusTopology cte_torus() {
+  return net::TorusTopology(arch::cte_arm().interconnect.dims);
+}
+
+TEST(Allocator, TracksFreeNodes) {
+  auto torus = cte_torus();
+  Allocator alloc(torus);
+  EXPECT_EQ(alloc.free_nodes(), 192);
+  const auto job = alloc.allocate(16, Policy::kLinear);
+  EXPECT_EQ(job.size(), 16u);
+  EXPECT_EQ(alloc.free_nodes(), 176);
+  for (int n : job) EXPECT_TRUE(alloc.is_busy(n));
+  alloc.release(job);
+  EXPECT_EQ(alloc.free_nodes(), 192);
+}
+
+TEST(Allocator, FailsGracefullyWhenFull) {
+  auto torus = cte_torus();
+  Allocator alloc(torus);
+  EXPECT_EQ(alloc.allocate(192, Policy::kLinear).size(), 192u);
+  EXPECT_TRUE(alloc.allocate(1, Policy::kLinear).empty());
+}
+
+TEST(Allocator, NoDoubleAllocation) {
+  auto torus = cte_torus();
+  Allocator alloc(torus);
+  const auto a = alloc.allocate(64, Policy::kRandom, 1);
+  const auto b = alloc.allocate(64, Policy::kRandom, 2);
+  std::vector<int> overlap;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(overlap));
+  EXPECT_TRUE(overlap.empty());
+}
+
+TEST(Allocator, ContiguousBeatsRandomOnProximity) {
+  // The whole point of the topology-aware scheduler: the compact block has
+  // a much smaller mean pairwise distance than a random scatter.
+  for (int job_size : {8, 16, 32}) {
+    auto torus = cte_torus();
+    Allocator contiguous(torus);
+    Allocator scattered(torus);
+    const auto block = contiguous.allocate(job_size, Policy::kContiguous);
+    const auto scatter = scattered.allocate(job_size, Policy::kRandom, 99);
+    ASSERT_EQ(block.size(), static_cast<std::size_t>(job_size));
+    EXPECT_LT(contiguous.mean_pairwise_hops(block),
+              0.75 * scattered.mean_pairwise_hops(scatter))
+        << job_size;
+  }
+}
+
+TEST(Allocator, ContiguousWorksOnFragmentedMachine) {
+  auto torus = cte_torus();
+  Allocator alloc(torus);
+  // Fragment: occupy every third node.
+  std::vector<int> busy;
+  for (int n = 0; n < 192; n += 3) busy.push_back(n);
+  alloc.occupy(busy);
+  const auto job = alloc.allocate(16, Policy::kContiguous);
+  ASSERT_EQ(job.size(), 16u);
+  for (int n : job) {
+    EXPECT_NE(n % 3, 0) << "allocated busy node " << n;
+  }
+}
+
+TEST(Allocator, RandomIsSeedDeterministic) {
+  auto torus = cte_torus();
+  Allocator a(torus);
+  Allocator b(torus);
+  EXPECT_EQ(a.allocate(24, Policy::kRandom, 7),
+            b.allocate(24, Policy::kRandom, 7));
+}
+
+TEST(Allocator, OccupyRejectsDoubleBooking) {
+  auto torus = cte_torus();
+  Allocator alloc(torus);
+  alloc.occupy({5});
+  EXPECT_THROW(alloc.occupy({5}), ContractError);
+  EXPECT_THROW(alloc.release({6}), ContractError);
+}
+
+}  // namespace
+}  // namespace ctesim::sched

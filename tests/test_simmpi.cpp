@@ -1,0 +1,271 @@
+// Unit tests for the simulated MPI runtime: placement, point-to-point
+// timing semantics, and the collective algorithms.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/configs.h"
+#include "roofline/kernel_library.h"
+#include "simmpi/world.h"
+
+namespace ctesim::mpi {
+namespace {
+
+WorldOptions cte_options() {
+  WorldOptions o;
+  o.machine = arch::cte_arm();
+  o.network_jitter = 0.0;  // exact timing checks below
+  return o;
+}
+
+TEST(Placement, PerCoreFillsDomainsInOrder) {
+  const auto node = arch::cte_arm().node;
+  const auto p = Placement::per_core(node, 96);
+  EXPECT_EQ(p.num_ranks(), 96);
+  EXPECT_EQ(p.nodes_used(), 2);
+  EXPECT_EQ(p.slot(0).node, 0);
+  EXPECT_EQ(p.slot(0).domain, 0);
+  EXPECT_EQ(p.slot(12).domain, 1);   // 13th core is on CMG 1
+  EXPECT_EQ(p.slot(47).domain, 3);
+  EXPECT_EQ(p.slot(48).node, 1);
+  EXPECT_EQ(p.slot(48).domain, 0);
+  EXPECT_EQ(p.slot(0).cores, 1);
+}
+
+TEST(Placement, PerNodeOwnsAllCores) {
+  const auto node = arch::marenostrum4().node;
+  const auto p = Placement::per_node(node, 4);
+  EXPECT_EQ(p.num_ranks(), 4);
+  EXPECT_EQ(p.slot(2).node, 2);
+  EXPECT_EQ(p.slot(2).cores, 48);
+}
+
+TEST(Placement, HybridLayout) {
+  const auto node = arch::cte_arm().node;
+  const auto p = Placement::hybrid(node, 16, 8, 6);  // Gromacs layout
+  EXPECT_EQ(p.nodes_used(), 2);
+  EXPECT_EQ(p.slot(0).cores, 6);
+  EXPECT_EQ(p.slot(1).domain, 0);  // cores 6..11 still CMG 0
+  EXPECT_EQ(p.slot(2).domain, 1);  // cores 12..17 on CMG 1
+}
+
+TEST(World, SendRecvAdvancesTimeByTransfer) {
+  auto opts = cte_options();
+  World world(std::move(opts), Placement::per_node(arch::cte_arm().node, 2));
+  double recv_done = -1.0;
+  world.run([&](Rank& r) -> sim::Task<> {
+    if (r.id() == 0) {
+      co_await r.send(1, 1024);
+    } else {
+      co_await r.recv(0);
+      recv_done = r.now_s();
+    }
+  });
+  // Transfer time = base latency + hops*per_hop + bytes/bw: strictly
+  // positive and well below a millisecond for 1 KiB.
+  EXPECT_GT(recv_done, 0.5e-6);
+  EXPECT_LT(recv_done, 1e-4);
+}
+
+TEST(World, IntraNodeMessagesUseSharedMemory) {
+  auto opts = cte_options();
+  // Two ranks on the same node (2 ranks/node, 1 node used).
+  World world(std::move(opts),
+              Placement::fill_nodes(arch::cte_arm().node, 2, 2));
+  double recv_done = -1.0;
+  world.run([&](Rank& r) -> sim::Task<> {
+    if (r.id() == 0) {
+      co_await r.send(1, 1024);
+    } else {
+      co_await r.recv(0);
+      recv_done = r.now_s();
+    }
+  });
+  const auto& node = arch::cte_arm().node;
+  const double expected = node.shm_latency + 1024.0 / node.shm_bw;
+  EXPECT_NEAR(recv_done, expected, 1e-12);
+}
+
+TEST(World, RecvBlocksUntilMessageArrives) {
+  auto opts = cte_options();
+  World world(std::move(opts), Placement::per_node(arch::cte_arm().node, 2));
+  double sent_at = -1.0;
+  double recv_at = -1.0;
+  world.run([&](Rank& r) -> sim::Task<> {
+    if (r.id() == 0) {
+      co_await r.compute_seconds(1.0);  // make the receiver wait
+      sent_at = r.now_s();
+      co_await r.send(1, 64);
+    } else {
+      co_await r.recv(0);
+      recv_at = r.now_s();
+    }
+  });
+  EXPECT_GE(recv_at, sent_at);
+  EXPECT_NEAR(recv_at, 1.0, 1e-3);
+}
+
+TEST(World, MessagesMatchByTagInOrder) {
+  auto opts = cte_options();
+  World world(std::move(opts), Placement::per_node(arch::cte_arm().node, 2));
+  std::vector<std::uint64_t> got;
+  world.run([&](Rank& r) -> sim::Task<> {
+    if (r.id() == 0) {
+      co_await r.send(1, 100, /*tag=*/7);
+      co_await r.send(1, 200, /*tag=*/9);
+      co_await r.send(1, 300, /*tag=*/7);
+    } else {
+      got.push_back(co_await r.recv(0, 9));   // out-of-order tag pull
+      got.push_back(co_await r.recv(0, 7));
+      got.push_back(co_await r.recv(0, 7));
+    }
+  });
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{200, 100, 300}));
+}
+
+TEST(World, DeadlockIsReported) {
+  auto opts = cte_options();
+  World world(std::move(opts), Placement::per_node(arch::cte_arm().node, 2));
+  EXPECT_THROW(world.run([&](Rank& r) -> sim::Task<> {
+                 co_await r.recv(1 - r.id());  // both wait, nobody sends
+               }),
+               std::runtime_error);
+}
+
+// --- collectives --------------------------------------------------------
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveTest, BarrierCompletesForAllRankCounts) {
+  const int nranks = GetParam();
+  auto opts = cte_options();
+  World world(std::move(opts),
+              Placement::per_node(arch::cte_arm().node, nranks));
+  int completions = 0;
+  world.run([&](Rank& r) -> sim::Task<> {
+    co_await r.barrier();
+    ++completions;
+  });
+  EXPECT_EQ(completions, nranks);
+}
+
+TEST_P(CollectiveTest, BarrierSynchronizesSkewedRanks) {
+  const int nranks = GetParam();
+  auto opts = cte_options();
+  World world(std::move(opts),
+              Placement::per_node(arch::cte_arm().node, nranks));
+  std::vector<double> after(static_cast<std::size_t>(nranks));
+  world.run([&](Rank& r) -> sim::Task<> {
+    // Rank i works i milliseconds before the barrier.
+    co_await r.compute_seconds(1e-3 * r.id());
+    co_await r.barrier();
+    after[static_cast<std::size_t>(r.id())] = r.now_s();
+  });
+  // No rank may leave the barrier before the slowest entered it.
+  const double slowest_entry = 1e-3 * (nranks - 1);
+  for (double t : after) EXPECT_GE(t, slowest_entry);
+}
+
+TEST_P(CollectiveTest, AllreduceCompletesAndScalesWithLogP) {
+  const int nranks = GetParam();
+  auto opts = cte_options();
+  World world(std::move(opts),
+              Placement::per_node(arch::cte_arm().node, nranks));
+  double t = world.run([&](Rank& r) -> sim::Task<> {
+    co_await r.allreduce(8);
+  });
+  if (nranks == 1) {
+    EXPECT_EQ(t, 0.0);  // single rank: no communication at all
+    return;
+  }
+  EXPECT_GT(t, 0.0);
+  // Latency-dominated small allreduce: within a small factor of
+  // ceil(log2 P) + 2 network latencies.
+  const auto& ic = arch::cte_arm().interconnect;
+  int stages = 0;
+  while ((1 << stages) < nranks) ++stages;
+  const double bound = (stages + 2) * (ic.base_latency_s * 4 + 2e-6);
+  EXPECT_LT(t, bound + 1e-5);
+}
+
+TEST_P(CollectiveTest, BcastReduceAllgatherAlltoallComplete) {
+  const int nranks = GetParam();
+  for (int variant = 0; variant < 4; ++variant) {
+    auto opts = cte_options();
+    World world(std::move(opts),
+                Placement::per_node(arch::cte_arm().node, nranks));
+    int completions = 0;
+    world.run([&](Rank& r) -> sim::Task<> {
+      switch (variant) {
+        case 0:
+          co_await r.bcast(0, 4096);
+          break;
+        case 1:
+          co_await r.reduce(nranks - 1, 4096);
+          break;
+        case 2:
+          co_await r.allgather(512);
+          break;
+        default:
+          co_await r.alltoall(256);
+          break;
+      }
+      ++completions;
+    });
+    EXPECT_EQ(completions, nranks) << "variant " << variant;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 12, 16, 31, 48));
+
+TEST(World, PhaseTimersTrackMaxAndAvg) {
+  auto opts = cte_options();
+  World world(std::move(opts), Placement::per_node(arch::cte_arm().node, 4));
+  world.run([&](Rank& r) -> sim::Task<> {
+    const double t0 = r.now_s();
+    co_await r.compute_seconds(0.1 * (r.id() + 1));
+    r.phase_add("work", r.now_s() - t0);
+  });
+  EXPECT_NEAR(world.phase_max("work"), 0.4, 1e-9);
+  EXPECT_NEAR(world.phase_avg("work"), 0.25, 1e-9);
+  EXPECT_EQ(world.phase_max("nonexistent"), 0.0);
+}
+
+TEST(World, ComputeJitterOnlySlowsDown) {
+  for (int trial = 0; trial < 3; ++trial) {
+    WorldOptions opts;
+    opts.machine = arch::cte_arm();
+    opts.compute_jitter = 0.05;
+    opts.seed = 1000 + static_cast<std::uint64_t>(trial);
+    World world(std::move(opts),
+                Placement::per_node(arch::cte_arm().node, 2));
+    const double t = world.run([&](Rank& r) -> sim::Task<> {
+      co_await r.compute_seconds(0.0);  // jitter applies to model compute
+      co_await r.compute(roofline::KernelSig{.name = "x",
+                                             .flops_per_elem = 2.0,
+                                             .bytes_per_elem = 16.0},
+                         1e6);
+    });
+    EXPECT_GT(t, 0.0);
+  }
+}
+
+TEST(World, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    WorldOptions opts;
+    opts.machine = arch::cte_arm();
+    opts.compute_jitter = 0.02;
+    World world(std::move(opts),
+                Placement::per_node(arch::cte_arm().node, 8));
+    return world.run([&](Rank& r) -> sim::Task<> {
+      co_await r.compute(roofline::kernels::stream_triad(), 1e6 * (r.id() + 1));
+      co_await r.allreduce(64);
+      co_await r.alltoall(1024);
+    });
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ctesim::mpi

@@ -1,0 +1,175 @@
+// Deeper semantic tests of the simulated MPI runtime: timing relations the
+// message-passing model must satisfy (these pin the LogGP-style semantics
+// the cost attribution relies on).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/configs.h"
+#include "simmpi/world.h"
+
+namespace ctesim::mpi {
+namespace {
+
+WorldOptions quiet_options() {
+  WorldOptions o;
+  o.machine = arch::cte_arm();
+  o.network_jitter = 0.0;
+  return o;
+}
+
+double run2(const World::RankFn& body) {
+  World world(quiet_options(), Placement::per_node(arch::cte_arm().node, 2));
+  return world.run(body);
+}
+
+TEST(Semantics, EagerSendReturnsBeforeDelivery) {
+  // A small (eager) send must release the sender long before the message
+  // arrives: sender-side occupancy ~ injection, receiver waits the wire.
+  double sender_free = -1.0;
+  double receiver_done = -1.0;
+  run2([&](Rank& r) -> sim::Task<> {
+    if (r.id() == 0) {
+      co_await r.send(1, 512);
+      sender_free = r.now_s();
+    } else {
+      co_await r.recv(0);
+      receiver_done = r.now_s();
+    }
+  });
+  EXPECT_LT(sender_free, receiver_done);
+}
+
+TEST(Semantics, RendezvousSendCouplesSenderToDelivery) {
+  double sender_free = -1.0;
+  double receiver_done = -1.0;
+  run2([&](Rank& r) -> sim::Task<> {
+    if (r.id() == 0) {
+      co_await r.send(1, 8 << 20);  // far above the eager threshold
+      sender_free = r.now_s();
+    } else {
+      co_await r.recv(0);
+      receiver_done = r.now_s();
+    }
+  });
+  EXPECT_NEAR(sender_free, receiver_done, 1e-9);
+}
+
+TEST(Semantics, BackToBackSendsSerializeAtSender) {
+  // Two large sends from one rank must take ~2x one send (NIC occupancy),
+  // even to different destinations.
+  auto run_sends = [&](int count) {
+    WorldOptions options = quiet_options();
+    World world(std::move(options),
+                Placement::per_node(arch::cte_arm().node, 3));
+    return world.run([count](Rank& r) -> sim::Task<> {
+      if (r.id() == 0) {
+        for (int i = 0; i < count; ++i) {
+          co_await r.send(1 + i % 2, 4 << 20);
+        }
+      } else {
+        for (int i = 0; i < count / 2; ++i) {
+          co_await r.recv(0);
+        }
+      }
+    });
+  };
+  const double two = run_sends(2);
+  const double four = run_sends(4);
+  EXPECT_NEAR(four / two, 2.0, 0.2);
+}
+
+TEST(Semantics, SendrecvIsFullDuplex) {
+  // A bidirectional exchange must cost ~one transfer, not two.
+  const double duplex = run2([](Rank& r) -> sim::Task<> {
+    co_await r.sendrecv(1 - r.id(), 1 << 20, 1 - r.id());
+  });
+  const double half = run2([](Rank& r) -> sim::Task<> {
+    if (r.id() == 0) {
+      co_await r.send(1, 1 << 20);
+    } else {
+      co_await r.recv(0);
+    }
+  });
+  EXPECT_LT(duplex, 1.6 * half);
+}
+
+TEST(Semantics, LatePostedReceiveGetsBufferedMessage) {
+  // Eager message sent long before the receive posts: the receiver pays no
+  // wire time, only picks up the buffered message.
+  double recv_started = -1.0;
+  double recv_done = -1.0;
+  run2([&](Rank& r) -> sim::Task<> {
+    if (r.id() == 0) {
+      co_await r.send(1, 1024);
+    } else {
+      co_await r.compute_seconds(1.0);  // post late
+      recv_started = r.now_s();
+      co_await r.recv(0);
+      recv_done = r.now_s();
+    }
+  });
+  EXPECT_NEAR(recv_done, recv_started, 1e-9);
+}
+
+TEST(Semantics, IntraNodeCheaperThanInterNode) {
+  WorldOptions options = quiet_options();
+  World intra(std::move(options),
+              Placement::fill_nodes(arch::cte_arm().node, 2, 2));
+  const double t_intra = intra.run([](Rank& r) -> sim::Task<> {
+    if (r.id() == 0) {
+      co_await r.send(1, 1 << 20);
+    } else {
+      co_await r.recv(0);
+    }
+  });
+  const double t_inter = run2([](Rank& r) -> sim::Task<> {
+    if (r.id() == 0) {
+      co_await r.send(1, 1 << 20);
+    } else {
+      co_await r.recv(0);
+    }
+  });
+  EXPECT_LT(t_intra, t_inter);
+}
+
+TEST(Semantics, ExchangeCompletesAllNeighborsConcurrently) {
+  // A 4-neighbor exchange should cost far less than 4 sequential
+  // ping-pongs of the same size.
+  WorldOptions options = quiet_options();
+  World world(std::move(options),
+              Placement::per_node(arch::cte_arm().node, 5));
+  std::vector<int> all{0, 1, 2, 3, 4};
+  const double t = world.run([&](Rank& r) -> sim::Task<> {
+    std::vector<int> neighbors;
+    for (int n : all) {
+      if (n != r.id()) neighbors.push_back(n);
+    }
+    co_await r.exchange(neighbors, 64 * 1024);
+  });
+  WorldOptions options2 = quiet_options();
+  World seq(std::move(options2),
+            Placement::per_node(arch::cte_arm().node, 2));
+  const double pingpong = seq.run([](Rank& r) -> sim::Task<> {
+    co_await r.sendrecv(1 - r.id(), 64 * 1024, 1 - r.id());
+  });
+  EXPECT_LT(t, 3.0 * pingpong);
+}
+
+TEST(Semantics, PhaseAvgAndMaxRelate) {
+  WorldOptions options = quiet_options();
+  World world(std::move(options),
+              Placement::per_node(arch::cte_arm().node, 4));
+  world.run([](Rank& r) -> sim::Task<> {
+    const double t0 = r.now_s();
+    co_await r.compute_seconds(0.1 * (r.id() + 1));
+    r.phase_add("w", r.now_s() - t0);
+  });
+  EXPECT_GE(world.phase_max("w"), world.phase_avg("w"));
+  const auto names = world.phase_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "w");
+}
+
+}  // namespace
+}  // namespace ctesim::mpi

@@ -1,0 +1,81 @@
+// Tests for machine-model validation.
+#include <gtest/gtest.h>
+
+#include "arch/configs.h"
+#include "arch/machine_io.h"
+#include "arch/validate.h"
+
+namespace ctesim::arch {
+namespace {
+
+TEST(Validate, BuiltinMachinesAreValid) {
+  EXPECT_TRUE(validate(cte_arm()).empty());
+  EXPECT_TRUE(validate(marenostrum4()).empty());
+  EXPECT_NO_THROW(validate_or_throw(cte_arm()));
+}
+
+TEST(Validate, CatchesZeroFrequency) {
+  auto m = cte_arm();
+  m.node.core.freq_ghz = 0.0;
+  const auto problems = validate(m);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("freq_ghz"), std::string::npos);
+}
+
+TEST(Validate, CatchesNonPowerOfTwoVector) {
+  auto m = cte_arm();
+  m.node.core.vector_bits = 384;
+  EXPECT_FALSE(validate(m).empty());
+}
+
+TEST(Validate, CatchesBadEfficiencies) {
+  auto m = cte_arm();
+  m.node.core.ooo_scalar_efficiency = 1.5;
+  m.node.domain.eff_ceiling = 0.0;
+  m.interconnect.eff_bw_factor = -0.1;
+  EXPECT_EQ(validate(m).size(), 3u);
+}
+
+TEST(Validate, CatchesTorusSmallerThanMachine) {
+  auto m = cte_arm();
+  m.num_nodes = 500;  // torus only addresses 192
+  const auto problems = validate(m);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("dims"), std::string::npos);
+}
+
+TEST(Validate, CatchesSingleThreadBwAbovePeak) {
+  auto m = marenostrum4();
+  m.node.domain.single_thread_bw = 2.0 * m.node.domain.peak_bw;
+  EXPECT_FALSE(validate(m).empty());
+}
+
+TEST(Validate, FatTreeNeedsNoDims) {
+  auto m = marenostrum4();
+  m.interconnect.dims.clear();
+  EXPECT_TRUE(validate(m).empty());
+}
+
+TEST(Validate, ThrowListsEveryProblem) {
+  auto m = cte_arm();
+  m.name.clear();
+  m.num_nodes = 0;
+  try {
+    validate_or_throw(m);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("machine.name"), std::string::npos);
+    EXPECT_NE(what.find("machine.nodes"), std::string::npos);
+  }
+}
+
+TEST(Validate, ParsedSampleMachineFileIsValid) {
+  // The shipped example machine must stay valid.
+  const auto m = load_machine_file(
+      std::string(CTESIM_SOURCE_DIR) + "/examples/machines/a64fx_successor.ini");
+  EXPECT_TRUE(validate(m).empty()) << "a64fx_successor.ini became invalid";
+}
+
+}  // namespace
+}  // namespace ctesim::arch
