@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_vectorization"
+  "../bench/ablation_vectorization.pdb"
+  "CMakeFiles/ablation_vectorization.dir/ablation_vectorization.cpp.o"
+  "CMakeFiles/ablation_vectorization.dir/ablation_vectorization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

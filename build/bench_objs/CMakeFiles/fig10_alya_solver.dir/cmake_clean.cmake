@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_alya_solver"
+  "../bench/fig10_alya_solver.pdb"
+  "CMakeFiles/fig10_alya_solver.dir/fig10_alya_solver.cpp.o"
+  "CMakeFiles/fig10_alya_solver.dir/fig10_alya_solver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_alya_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_nemo"
+  "../bench/fig11_nemo.pdb"
+  "CMakeFiles/fig11_nemo.dir/fig11_nemo.cpp.o"
+  "CMakeFiles/fig11_nemo.dir/fig11_nemo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_nemo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

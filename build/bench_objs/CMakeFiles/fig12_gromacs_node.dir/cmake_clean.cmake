@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_gromacs_node"
+  "../bench/fig12_gromacs_node.pdb"
+  "CMakeFiles/fig12_gromacs_node.dir/fig12_gromacs_node.cpp.o"
+  "CMakeFiles/fig12_gromacs_node.dir/fig12_gromacs_node.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_gromacs_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_gromacs_multi"
+  "../bench/fig13_gromacs_multi.pdb"
+  "CMakeFiles/fig13_gromacs_multi.dir/fig13_gromacs_multi.cpp.o"
+  "CMakeFiles/fig13_gromacs_multi.dir/fig13_gromacs_multi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_gromacs_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

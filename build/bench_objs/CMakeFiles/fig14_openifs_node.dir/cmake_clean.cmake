@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_openifs_node"
+  "../bench/fig14_openifs_node.pdb"
+  "CMakeFiles/fig14_openifs_node.dir/fig14_openifs_node.cpp.o"
+  "CMakeFiles/fig14_openifs_node.dir/fig14_openifs_node.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_openifs_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_openifs_multi"
+  "../bench/fig15_openifs_multi.pdb"
+  "CMakeFiles/fig15_openifs_multi.dir/fig15_openifs_multi.cpp.o"
+  "CMakeFiles/fig15_openifs_multi.dir/fig15_openifs_multi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_openifs_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_wrf"
+  "../bench/fig16_wrf.pdb"
+  "CMakeFiles/fig16_wrf.dir/fig16_wrf.cpp.o"
+  "CMakeFiles/fig16_wrf.dir/fig16_wrf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_wrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

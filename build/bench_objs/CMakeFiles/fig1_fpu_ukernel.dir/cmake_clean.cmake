@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_fpu_ukernel"
+  "../bench/fig1_fpu_ukernel.pdb"
+  "CMakeFiles/fig1_fpu_ukernel.dir/fig1_fpu_ukernel.cpp.o"
+  "CMakeFiles/fig1_fpu_ukernel.dir/fig1_fpu_ukernel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fpu_ukernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_stream_omp"
+  "../bench/fig2_stream_omp.pdb"
+  "CMakeFiles/fig2_stream_omp.dir/fig2_stream_omp.cpp.o"
+  "CMakeFiles/fig2_stream_omp.dir/fig2_stream_omp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stream_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_stream_hybrid"
+  "../bench/fig3_stream_hybrid.pdb"
+  "CMakeFiles/fig3_stream_hybrid.dir/fig3_stream_hybrid.cpp.o"
+  "CMakeFiles/fig3_stream_hybrid.dir/fig3_stream_hybrid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stream_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_pair_bandwidth"
+  "../bench/fig4_pair_bandwidth.pdb"
+  "CMakeFiles/fig4_pair_bandwidth.dir/fig4_pair_bandwidth.cpp.o"
+  "CMakeFiles/fig4_pair_bandwidth.dir/fig4_pair_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pair_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

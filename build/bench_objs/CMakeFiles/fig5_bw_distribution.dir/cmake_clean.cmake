@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_bw_distribution"
+  "../bench/fig5_bw_distribution.pdb"
+  "CMakeFiles/fig5_bw_distribution.dir/fig5_bw_distribution.cpp.o"
+  "CMakeFiles/fig5_bw_distribution.dir/fig5_bw_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bw_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

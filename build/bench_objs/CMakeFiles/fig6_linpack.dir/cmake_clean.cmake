@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_linpack"
+  "../bench/fig6_linpack.pdb"
+  "CMakeFiles/fig6_linpack.dir/fig6_linpack.cpp.o"
+  "CMakeFiles/fig6_linpack.dir/fig6_linpack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_linpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

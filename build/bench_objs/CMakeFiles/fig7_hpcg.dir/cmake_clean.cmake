@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_hpcg"
+  "../bench/fig7_hpcg.pdb"
+  "CMakeFiles/fig7_hpcg.dir/fig7_hpcg.cpp.o"
+  "CMakeFiles/fig7_hpcg.dir/fig7_hpcg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hpcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_hpcg.
+# This may be replaced when dependencies are built.

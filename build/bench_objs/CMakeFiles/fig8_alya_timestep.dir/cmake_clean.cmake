@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_alya_timestep"
+  "../bench/fig8_alya_timestep.pdb"
+  "CMakeFiles/fig8_alya_timestep.dir/fig8_alya_timestep.cpp.o"
+  "CMakeFiles/fig8_alya_timestep.dir/fig8_alya_timestep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_alya_timestep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_alya_assembly"
+  "../bench/fig9_alya_assembly.pdb"
+  "CMakeFiles/fig9_alya_assembly.dir/fig9_alya_assembly.cpp.o"
+  "CMakeFiles/fig9_alya_assembly.dir/fig9_alya_assembly.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_alya_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/native_kernels"
+  "../bench/native_kernels.pdb"
+  "CMakeFiles/native_kernels.dir/native_kernels.cpp.o"
+  "CMakeFiles/native_kernels.dir/native_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_hwconfig"
+  "../bench/table1_hwconfig.pdb"
+  "CMakeFiles/table1_hwconfig.dir/table1_hwconfig.cpp.o"
+  "CMakeFiles/table1_hwconfig.dir/table1_hwconfig.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hwconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

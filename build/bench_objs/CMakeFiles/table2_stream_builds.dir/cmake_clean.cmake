@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_stream_builds"
+  "../bench/table2_stream_builds.pdb"
+  "CMakeFiles/table2_stream_builds.dir/table2_stream_builds.cpp.o"
+  "CMakeFiles/table2_stream_builds.dir/table2_stream_builds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_stream_builds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_appconfig"
+  "../bench/table3_appconfig.pdb"
+  "CMakeFiles/table3_appconfig.dir/table3_appconfig.cpp.o"
+  "CMakeFiles/table3_appconfig.dir/table3_appconfig.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_appconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

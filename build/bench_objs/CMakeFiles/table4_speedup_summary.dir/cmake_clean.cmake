@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_speedup_summary"
+  "../bench/table4_speedup_summary.pdb"
+  "CMakeFiles/table4_speedup_summary.dir/table4_speedup_summary.cpp.o"
+  "CMakeFiles/table4_speedup_summary.dir/table4_speedup_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_speedup_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_app_scaling_study.dir/app_scaling_study.cpp.o"
+  "CMakeFiles/example_app_scaling_study.dir/app_scaling_study.cpp.o.d"
+  "example_app_scaling_study"
+  "example_app_scaling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_app_scaling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

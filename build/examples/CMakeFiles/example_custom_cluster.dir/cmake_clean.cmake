@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_cluster.dir/custom_cluster.cpp.o"
+  "CMakeFiles/example_custom_cluster.dir/custom_cluster.cpp.o.d"
+  "example_custom_cluster"
+  "example_custom_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_export_machines.dir/export_machines.cpp.o"
+  "CMakeFiles/example_export_machines.dir/export_machines.cpp.o.d"
+  "example_export_machines"
+  "example_export_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_export_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

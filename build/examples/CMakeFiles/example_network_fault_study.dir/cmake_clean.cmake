@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_network_fault_study.dir/network_fault_study.cpp.o"
+  "CMakeFiles/example_network_fault_study.dir/network_fault_study.cpp.o.d"
+  "example_network_fault_study"
+  "example_network_fault_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_network_fault_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

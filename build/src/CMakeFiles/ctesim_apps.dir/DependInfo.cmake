@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/alya.cpp" "src/CMakeFiles/ctesim_apps.dir/apps/alya.cpp.o" "gcc" "src/CMakeFiles/ctesim_apps.dir/apps/alya.cpp.o.d"
+  "/root/repo/src/apps/gromacs.cpp" "src/CMakeFiles/ctesim_apps.dir/apps/gromacs.cpp.o" "gcc" "src/CMakeFiles/ctesim_apps.dir/apps/gromacs.cpp.o.d"
+  "/root/repo/src/apps/nemo.cpp" "src/CMakeFiles/ctesim_apps.dir/apps/nemo.cpp.o" "gcc" "src/CMakeFiles/ctesim_apps.dir/apps/nemo.cpp.o.d"
+  "/root/repo/src/apps/openifs.cpp" "src/CMakeFiles/ctesim_apps.dir/apps/openifs.cpp.o" "gcc" "src/CMakeFiles/ctesim_apps.dir/apps/openifs.cpp.o.d"
+  "/root/repo/src/apps/wrf.cpp" "src/CMakeFiles/ctesim_apps.dir/apps/wrf.cpp.o" "gcc" "src/CMakeFiles/ctesim_apps.dir/apps/wrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ctesim_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

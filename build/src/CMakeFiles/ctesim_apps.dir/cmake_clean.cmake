@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_apps.dir/apps/alya.cpp.o"
+  "CMakeFiles/ctesim_apps.dir/apps/alya.cpp.o.d"
+  "CMakeFiles/ctesim_apps.dir/apps/gromacs.cpp.o"
+  "CMakeFiles/ctesim_apps.dir/apps/gromacs.cpp.o.d"
+  "CMakeFiles/ctesim_apps.dir/apps/nemo.cpp.o"
+  "CMakeFiles/ctesim_apps.dir/apps/nemo.cpp.o.d"
+  "CMakeFiles/ctesim_apps.dir/apps/openifs.cpp.o"
+  "CMakeFiles/ctesim_apps.dir/apps/openifs.cpp.o.d"
+  "CMakeFiles/ctesim_apps.dir/apps/wrf.cpp.o"
+  "CMakeFiles/ctesim_apps.dir/apps/wrf.cpp.o.d"
+  "libctesim_apps.a"
+  "libctesim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/compiler.cpp" "src/CMakeFiles/ctesim_arch.dir/arch/compiler.cpp.o" "gcc" "src/CMakeFiles/ctesim_arch.dir/arch/compiler.cpp.o.d"
+  "/root/repo/src/arch/configs.cpp" "src/CMakeFiles/ctesim_arch.dir/arch/configs.cpp.o" "gcc" "src/CMakeFiles/ctesim_arch.dir/arch/configs.cpp.o.d"
+  "/root/repo/src/arch/machine_io.cpp" "src/CMakeFiles/ctesim_arch.dir/arch/machine_io.cpp.o" "gcc" "src/CMakeFiles/ctesim_arch.dir/arch/machine_io.cpp.o.d"
+  "/root/repo/src/arch/validate.cpp" "src/CMakeFiles/ctesim_arch.dir/arch/validate.cpp.o" "gcc" "src/CMakeFiles/ctesim_arch.dir/arch/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ctesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_arch.dir/arch/compiler.cpp.o"
+  "CMakeFiles/ctesim_arch.dir/arch/compiler.cpp.o.d"
+  "CMakeFiles/ctesim_arch.dir/arch/configs.cpp.o"
+  "CMakeFiles/ctesim_arch.dir/arch/configs.cpp.o.d"
+  "CMakeFiles/ctesim_arch.dir/arch/machine_io.cpp.o"
+  "CMakeFiles/ctesim_arch.dir/arch/machine_io.cpp.o.d"
+  "CMakeFiles/ctesim_arch.dir/arch/validate.cpp.o"
+  "CMakeFiles/ctesim_arch.dir/arch/validate.cpp.o.d"
+  "libctesim_arch.a"
+  "libctesim_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

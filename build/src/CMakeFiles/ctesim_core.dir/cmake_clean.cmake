@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_core.dir/core/engine.cpp.o"
+  "CMakeFiles/ctesim_core.dir/core/engine.cpp.o.d"
+  "libctesim_core.a"
+  "libctesim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

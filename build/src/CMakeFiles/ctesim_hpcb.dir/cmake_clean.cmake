@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_hpcb.dir/hpcb/hpcg.cpp.o"
+  "CMakeFiles/ctesim_hpcb.dir/hpcb/hpcg.cpp.o.d"
+  "CMakeFiles/ctesim_hpcb.dir/hpcb/hpl.cpp.o"
+  "CMakeFiles/ctesim_hpcb.dir/hpcb/hpl.cpp.o.d"
+  "CMakeFiles/ctesim_hpcb.dir/hpcb/hpl_sim.cpp.o"
+  "CMakeFiles/ctesim_hpcb.dir/hpcb/hpl_sim.cpp.o.d"
+  "libctesim_hpcb.a"
+  "libctesim_hpcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_hpcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

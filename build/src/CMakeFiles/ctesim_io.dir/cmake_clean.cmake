@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_io.dir/io/filesystem.cpp.o"
+  "CMakeFiles/ctesim_io.dir/io/filesystem.cpp.o.d"
+  "libctesim_io.a"
+  "libctesim_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/dense.cpp" "src/CMakeFiles/ctesim_kernels.dir/kernels/dense.cpp.o" "gcc" "src/CMakeFiles/ctesim_kernels.dir/kernels/dense.cpp.o.d"
+  "/root/repo/src/kernels/fft.cpp" "src/CMakeFiles/ctesim_kernels.dir/kernels/fft.cpp.o" "gcc" "src/CMakeFiles/ctesim_kernels.dir/kernels/fft.cpp.o.d"
+  "/root/repo/src/kernels/fma.cpp" "src/CMakeFiles/ctesim_kernels.dir/kernels/fma.cpp.o" "gcc" "src/CMakeFiles/ctesim_kernels.dir/kernels/fma.cpp.o.d"
+  "/root/repo/src/kernels/md.cpp" "src/CMakeFiles/ctesim_kernels.dir/kernels/md.cpp.o" "gcc" "src/CMakeFiles/ctesim_kernels.dir/kernels/md.cpp.o.d"
+  "/root/repo/src/kernels/multigrid.cpp" "src/CMakeFiles/ctesim_kernels.dir/kernels/multigrid.cpp.o" "gcc" "src/CMakeFiles/ctesim_kernels.dir/kernels/multigrid.cpp.o.d"
+  "/root/repo/src/kernels/sparse.cpp" "src/CMakeFiles/ctesim_kernels.dir/kernels/sparse.cpp.o" "gcc" "src/CMakeFiles/ctesim_kernels.dir/kernels/sparse.cpp.o.d"
+  "/root/repo/src/kernels/stencil.cpp" "src/CMakeFiles/ctesim_kernels.dir/kernels/stencil.cpp.o" "gcc" "src/CMakeFiles/ctesim_kernels.dir/kernels/stencil.cpp.o.d"
+  "/root/repo/src/kernels/stream.cpp" "src/CMakeFiles/ctesim_kernels.dir/kernels/stream.cpp.o" "gcc" "src/CMakeFiles/ctesim_kernels.dir/kernels/stream.cpp.o.d"
+  "/root/repo/src/kernels/transpose.cpp" "src/CMakeFiles/ctesim_kernels.dir/kernels/transpose.cpp.o" "gcc" "src/CMakeFiles/ctesim_kernels.dir/kernels/transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ctesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_kernels.dir/kernels/dense.cpp.o"
+  "CMakeFiles/ctesim_kernels.dir/kernels/dense.cpp.o.d"
+  "CMakeFiles/ctesim_kernels.dir/kernels/fft.cpp.o"
+  "CMakeFiles/ctesim_kernels.dir/kernels/fft.cpp.o.d"
+  "CMakeFiles/ctesim_kernels.dir/kernels/fma.cpp.o"
+  "CMakeFiles/ctesim_kernels.dir/kernels/fma.cpp.o.d"
+  "CMakeFiles/ctesim_kernels.dir/kernels/md.cpp.o"
+  "CMakeFiles/ctesim_kernels.dir/kernels/md.cpp.o.d"
+  "CMakeFiles/ctesim_kernels.dir/kernels/multigrid.cpp.o"
+  "CMakeFiles/ctesim_kernels.dir/kernels/multigrid.cpp.o.d"
+  "CMakeFiles/ctesim_kernels.dir/kernels/sparse.cpp.o"
+  "CMakeFiles/ctesim_kernels.dir/kernels/sparse.cpp.o.d"
+  "CMakeFiles/ctesim_kernels.dir/kernels/stencil.cpp.o"
+  "CMakeFiles/ctesim_kernels.dir/kernels/stencil.cpp.o.d"
+  "CMakeFiles/ctesim_kernels.dir/kernels/stream.cpp.o"
+  "CMakeFiles/ctesim_kernels.dir/kernels/stream.cpp.o.d"
+  "CMakeFiles/ctesim_kernels.dir/kernels/transpose.cpp.o"
+  "CMakeFiles/ctesim_kernels.dir/kernels/transpose.cpp.o.d"
+  "libctesim_kernels.a"
+  "libctesim_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

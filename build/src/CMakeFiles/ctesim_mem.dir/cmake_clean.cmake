@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_mem.dir/mem/stream_sim.cpp.o"
+  "CMakeFiles/ctesim_mem.dir/mem/stream_sim.cpp.o.d"
+  "libctesim_mem.a"
+  "libctesim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

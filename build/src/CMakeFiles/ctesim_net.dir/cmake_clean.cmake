@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_net.dir/net/congestion.cpp.o"
+  "CMakeFiles/ctesim_net.dir/net/congestion.cpp.o.d"
+  "CMakeFiles/ctesim_net.dir/net/network.cpp.o"
+  "CMakeFiles/ctesim_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/ctesim_net.dir/net/topology.cpp.o"
+  "CMakeFiles/ctesim_net.dir/net/topology.cpp.o.d"
+  "libctesim_net.a"
+  "libctesim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_report.dir/report/gantt.cpp.o"
+  "CMakeFiles/ctesim_report.dir/report/gantt.cpp.o.d"
+  "CMakeFiles/ctesim_report.dir/report/plot.cpp.o"
+  "CMakeFiles/ctesim_report.dir/report/plot.cpp.o.d"
+  "CMakeFiles/ctesim_report.dir/report/table.cpp.o"
+  "CMakeFiles/ctesim_report.dir/report/table.cpp.o.d"
+  "libctesim_report.a"
+  "libctesim_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_roofline.dir/roofline/exec_model.cpp.o"
+  "CMakeFiles/ctesim_roofline.dir/roofline/exec_model.cpp.o.d"
+  "CMakeFiles/ctesim_roofline.dir/roofline/kernel_library.cpp.o"
+  "CMakeFiles/ctesim_roofline.dir/roofline/kernel_library.cpp.o.d"
+  "libctesim_roofline.a"
+  "libctesim_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_sched.dir/sched/allocator.cpp.o"
+  "CMakeFiles/ctesim_sched.dir/sched/allocator.cpp.o.d"
+  "libctesim_sched.a"
+  "libctesim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_simmpi.dir/simmpi/placement.cpp.o"
+  "CMakeFiles/ctesim_simmpi.dir/simmpi/placement.cpp.o.d"
+  "CMakeFiles/ctesim_simmpi.dir/simmpi/world.cpp.o"
+  "CMakeFiles/ctesim_simmpi.dir/simmpi/world.cpp.o.d"
+  "libctesim_simmpi.a"
+  "libctesim_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctesim_util.dir/util/check.cpp.o"
+  "CMakeFiles/ctesim_util.dir/util/check.cpp.o.d"
+  "CMakeFiles/ctesim_util.dir/util/cli.cpp.o"
+  "CMakeFiles/ctesim_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/ctesim_util.dir/util/csv.cpp.o"
+  "CMakeFiles/ctesim_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/ctesim_util.dir/util/log.cpp.o"
+  "CMakeFiles/ctesim_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/ctesim_util.dir/util/rng.cpp.o"
+  "CMakeFiles/ctesim_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/ctesim_util.dir/util/stats.cpp.o"
+  "CMakeFiles/ctesim_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/ctesim_util.dir/util/units.cpp.o"
+  "CMakeFiles/ctesim_util.dir/util/units.cpp.o.d"
+  "libctesim_util.a"
+  "libctesim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctesim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

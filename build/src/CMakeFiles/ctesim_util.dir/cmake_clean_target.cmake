@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctesim_util.a"
+)

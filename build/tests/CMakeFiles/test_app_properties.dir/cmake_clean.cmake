@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_properties.dir/test_app_properties.cpp.o"
+  "CMakeFiles/test_app_properties.dir/test_app_properties.cpp.o.d"
+  "test_app_properties"
+  "test_app_properties.pdb"
+  "test_app_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

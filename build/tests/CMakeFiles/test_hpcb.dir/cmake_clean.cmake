@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpcb.dir/test_hpcb.cpp.o"
+  "CMakeFiles/test_hpcb.dir/test_hpcb.cpp.o.d"
+  "test_hpcb"
+  "test_hpcb.pdb"
+  "test_hpcb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpcb_properties.dir/test_hpcb_properties.cpp.o"
+  "CMakeFiles/test_hpcb_properties.dir/test_hpcb_properties.cpp.o.d"
+  "test_hpcb_properties"
+  "test_hpcb_properties.pdb"
+  "test_hpcb_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpcb_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

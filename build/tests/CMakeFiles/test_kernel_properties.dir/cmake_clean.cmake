@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_properties.dir/test_kernel_properties.cpp.o"
+  "CMakeFiles/test_kernel_properties.dir/test_kernel_properties.cpp.o.d"
+  "test_kernel_properties"
+  "test_kernel_properties.pdb"
+  "test_kernel_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/test_net.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/test_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ctesim_hpcb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

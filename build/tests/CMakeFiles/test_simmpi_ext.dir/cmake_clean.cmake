@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_ext.dir/test_simmpi_ext.cpp.o"
+  "CMakeFiles/test_simmpi_ext.dir/test_simmpi_ext.cpp.o.d"
+  "test_simmpi_ext"
+  "test_simmpi_ext.pdb"
+  "test_simmpi_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

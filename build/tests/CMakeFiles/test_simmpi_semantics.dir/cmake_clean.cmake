@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_semantics.dir/test_simmpi_semantics.cpp.o"
+  "CMakeFiles/test_simmpi_semantics.dir/test_simmpi_semantics.cpp.o.d"
+  "test_simmpi_semantics"
+  "test_simmpi_semantics.pdb"
+  "test_simmpi_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
