@@ -1,0 +1,136 @@
+// Cluster throughput under job traffic: the production regime the paper
+// evaluates (Section II) but single-shot benches never exercise.
+//
+// A Poisson-plus-bursts stream of ≥500 jobs (log2-uniform sizes, roofline-
+// modeled runtimes, padded wall-time requests) runs through the batch
+// subsystem on the 192-node CTE-Arm model, once per node-placement policy.
+// The queue policy (EASY backfill by default) is held fixed, so the
+// differences isolate what placement quality costs a busy machine:
+// scattered allocations inflate communication, jobs hold nodes longer,
+// queues back up, and bounded slowdown grows — the case for the
+// topology-aware scheduler, measured end to end.
+//
+// Deterministic: identical --seed gives an identical table and CSV.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "arch/configs.h"
+#include "batch/cluster.h"
+#include "batch/metrics.h"
+#include "batch/workload.h"
+#include "bench_common.h"
+#include "report/table.h"
+#include "sched/allocator.h"
+
+using namespace ctesim;
+
+int main(int argc, char** argv) {
+  std::string csv_path;
+  std::int64_t jobs = 600;
+  std::int64_t seed = 1;
+  double interarrival = 16.0;
+  std::string queue_name = "easy";
+  Cli cli("cluster_throughput",
+          "batch-queue throughput vs node-placement policy on CTE-Arm");
+  cli.option("jobs", &jobs, "number of jobs in the stream (>= 500)")
+      .option("seed", &seed, "workload + placement seed")
+      .option("interarrival", &interarrival,
+              "mean inter-arrival gap in seconds (lower = busier)")
+      .option("queue", &queue_name, "queue policy: easy | fcfs");
+  if (!bench::parse_harness(argc, argv, "cluster_throughput",
+                            "batch-queue throughput", &csv_path, &cli)) {
+    return 0;
+  }
+  if (queue_name != "easy" && queue_name != "fcfs") {
+    std::fprintf(stderr, "cluster_throughput: --queue must be easy or fcfs, got '%s'\n",
+                 queue_name.c_str());
+    return 1;
+  }
+  if (jobs < 1) {
+    std::fprintf(stderr, "cluster_throughput: --jobs must be >= 1, got %lld\n",
+                 static_cast<long long>(jobs));
+    return 1;
+  }
+  bench::banner("Cluster throughput",
+                "placement policy under batch traffic (192-node CTE-Arm)");
+
+  const batch::RuntimeModel model(arch::cte_arm());
+  batch::WorkloadConfig config;
+  config.num_jobs = static_cast<int>(jobs);
+  config.mean_interarrival_s = interarrival;
+  config.burst_fraction = 0.3;  // campaign submissions keep the queue deep
+  const auto stream =
+      batch::generate(config, model, static_cast<std::uint64_t>(seed));
+
+  const batch::QueuePolicy queue = queue_name == "fcfs"
+                                       ? batch::QueuePolicy::kFcfs
+                                       : batch::QueuePolicy::kEasyBackfill;
+
+  report::Table table(
+      std::string("≥500-job stream, ") + batch::name_of(queue) +
+          " queue — placement policy comparison",
+      {"placement", "util", "makespan [h]", "wait mean [s]", "wait p95 [s]",
+       "bsld mean", "bsld p95", "hops", "slowdown", "frag", "killed"});
+  std::unique_ptr<CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<CsvWriter>(
+        csv_path,
+        std::vector<std::string>{"placement", "queue", "jobs", "utilization",
+                                 "makespan_s", "mean_wait_s", "p95_wait_s",
+                                 "mean_bsld", "p95_bsld", "mean_hops",
+                                 "mean_placement_slowdown", "time_avg_frag",
+                                 "killed"});
+  }
+
+  double bsld_contiguous = 0.0, bsld_random = 0.0;
+  for (auto placement :
+       {sched::Policy::kContiguous, sched::Policy::kLinear,
+        sched::Policy::kRandom}) {
+    batch::ClusterOptions options;
+    options.placement = placement;
+    options.queue = queue;
+    options.seed = static_cast<std::uint64_t>(seed);
+    const auto result = batch::run_cluster(model, stream, options);
+    const auto m =
+        batch::summarize(result, model.machine().num_nodes);
+    table.row({sched::name_of(placement), report::fixed(m.utilization, 3),
+               report::fixed(m.makespan_s / 3600.0, 2),
+               report::fixed(m.mean_wait_s, 1),
+               report::fixed(m.p95_wait_s, 1),
+               report::fixed(m.mean_bounded_slowdown, 2),
+               report::fixed(m.p95_bounded_slowdown, 2),
+               report::fixed(m.mean_hops, 2),
+               report::fixed(m.mean_placement_slowdown, 3),
+               report::fixed(m.time_avg_fragmentation, 3),
+               std::to_string(m.killed)});
+    if (csv) {
+      csv->row(std::vector<std::string>{
+          sched::name_of(placement), batch::name_of(queue),
+          std::to_string(m.jobs), report::fixed(m.utilization, 4),
+          report::fixed(m.makespan_s, 1), report::fixed(m.mean_wait_s, 2),
+          report::fixed(m.p95_wait_s, 2),
+          report::fixed(m.mean_bounded_slowdown, 3),
+          report::fixed(m.p95_bounded_slowdown, 3),
+          report::fixed(m.mean_hops, 3),
+          report::fixed(m.mean_placement_slowdown, 4),
+          report::fixed(m.time_avg_fragmentation, 4),
+          std::to_string(m.killed)});
+    }
+    if (placement == sched::Policy::kContiguous) {
+      bsld_contiguous = m.mean_bounded_slowdown;
+    }
+    if (placement == sched::Policy::kRandom) {
+      bsld_random = m.mean_bounded_slowdown;
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: contiguous placement holds mean bounded slowdown to "
+      "%.2f vs %.2f for random scatter on the same stream — compact blocks "
+      "keep communication cheap, jobs release nodes sooner, and the queue "
+      "drains faster. This end-to-end gap is what CTE-Arm's topology-aware "
+      "scheduler buys the whole machine, not just one job.\n",
+      bsld_contiguous, bsld_random);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Batch-queue walkthrough: submit a stream of jobs to the simulated
+// CTE-Arm queue and see what the scheduler does with it.
+//
+//   1. Build the runtime model and a synthetic 150-job workload.
+//   2. Run it FCFS and with EASY backfill — same jobs, same placement.
+//   3. Inspect a few per-job records and the fragmentation timeline.
+//   4. Round-trip the workload through a CSV trace (the replay path).
+//
+// Build & run:  ./build/examples/example_batch_queue
+#include <cstdio>
+
+#include "arch/configs.h"
+#include "batch/cluster.h"
+#include "batch/metrics.h"
+#include "batch/workload.h"
+
+using namespace ctesim;
+
+int main() {
+  // --- 1. model + workload -------------------------------------------
+  const batch::RuntimeModel model(arch::cte_arm());
+  batch::WorkloadConfig config;
+  config.num_jobs = 150;
+  config.mean_interarrival_s = 12.0;
+  config.burst_fraction = 0.25;
+  const auto jobs = batch::generate(config, model, /*seed=*/7);
+  std::printf("workload: %d jobs, first arrives %.1fs, last %.1fs\n",
+              config.num_jobs, jobs.front().arrival_s,
+              jobs.back().arrival_s);
+
+  // --- 2. FCFS vs EASY backfill --------------------------------------
+  for (auto queue :
+       {batch::QueuePolicy::kFcfs, batch::QueuePolicy::kEasyBackfill}) {
+    batch::ClusterOptions options;
+    options.queue = queue;
+    options.placement = sched::Policy::kContiguous;
+    const auto result = batch::run_cluster(model, jobs, options);
+    const auto m = batch::summarize(result, model.machine().num_nodes);
+    std::printf(
+        "  %-5s queue: util %.3f, makespan %.2f h, mean wait %.0f s, "
+        "mean bounded slowdown %.2f\n",
+        batch::name_of(queue), m.utilization, m.makespan_s / 3600.0,
+        m.mean_wait_s, m.mean_bounded_slowdown);
+  }
+
+  // --- 3. look inside one run ----------------------------------------
+  batch::ClusterOptions options;
+  const auto result = batch::run_cluster(model, jobs, options);
+  std::printf("\nfirst three jobs (EASY, contiguous placement):\n");
+  for (int i = 0; i < 3; ++i) {
+    const auto& r = result.records[static_cast<std::size_t>(i)];
+    std::printf(
+        "  job %2d [%s]: %2d nodes, wait %6.1f s, ran %6.1f s "
+        "(hops %.2f, placement slowdown %.3f)\n",
+        r.job.id, r.job.profile.name, r.job.nodes, r.wait_s(),
+        r.runtime_s(), r.mean_hops, r.placement_slowdown);
+  }
+  const auto& frag = result.frag_timeline;
+  std::printf("fragmentation timeline: %zu samples, peak %.3f\n",
+              frag.size(),
+              [&] {
+                double peak = 0.0;
+                for (const auto& s : frag) {
+                  if (s.fragmentation > peak) peak = s.fragmentation;
+                }
+                return peak;
+              }());
+
+  // --- 4. trace round-trip -------------------------------------------
+  const char* path = "batch_queue_trace.csv";
+  batch::write_trace(jobs, model, path);
+  const auto replayed = batch::load_trace(path);
+  std::printf(
+      "\nwrote %zu jobs to %s and replayed them back (fixed runtimes) — "
+      "feed any recorded queue through run_cluster the same way.\n",
+      replayed.size(), path);
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "batch/cluster.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/engine.h"
+#include "core/time.h"
+#include "util/check.h"
+
+namespace ctesim::batch {
+
+namespace {
+
+/// Mix the run seed with the job id so the random placement policy draws an
+/// independent, order-free stream per job (splitmix-style finalizer).
+std::uint64_t placement_seed(std::uint64_t seed, int job_id) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
+                               (static_cast<std::uint64_t>(job_id) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ClusterResult run_cluster(const RuntimeModel& model,
+                          const std::vector<Job>& jobs,
+                          const ClusterOptions& options) {
+  const int total_nodes = model.machine().num_nodes;
+  for (const Job& job : jobs) {
+    CTESIM_EXPECTS(job.nodes >= 1 && job.nodes <= total_nodes);
+    CTESIM_EXPECTS(job.arrival_s >= 0.0 && job.walltime_s > 0.0);
+  }
+
+  sim::Engine engine;
+  sched::Allocator allocator(model.topology());
+  JobQueue queue(options.queue, total_nodes);
+  std::vector<Reservation> running;
+  ClusterResult result;
+  result.records.reserve(jobs.size());
+
+  const auto sample = [&] {
+    result.frag_timeline.push_back({sim::to_seconds(engine.now()),
+                                    allocator.fragmentation(),
+                                    total_nodes - allocator.free_nodes()});
+  };
+
+  std::function<void()> try_start;
+  try_start = [&] {
+    while (true) {
+      const double now_s = sim::to_seconds(engine.now());
+      const int pos =
+          queue.next_startable(now_s, allocator.free_nodes(), running);
+      if (pos < 0) break;
+      const Job job = queue.pop(pos);
+      const auto nodes = allocator.allocate(
+          static_cast<std::uint64_t>(job.id), job.nodes, options.placement,
+          placement_seed(options.seed, job.id));
+      CTESIM_ENSURES(static_cast<int>(nodes.size()) == job.nodes);
+
+      JobRecord record;
+      record.job = job;
+      record.start_s = now_s;
+      record.alloc_nodes = nodes;
+      record.mean_hops = allocator.mean_pairwise_hops(nodes);
+      record.placement_slowdown = model.slowdown(job, record.mean_hops);
+      const double modeled = model.runtime(job, record.mean_hops);
+      const bool killed = modeled > job.walltime_s;
+      const double actual = killed ? job.walltime_s : modeled;
+      record.end_s = now_s + actual;
+      record.end_reason =
+          killed ? EndReason::kWalltimeKilled : EndReason::kCompleted;
+      result.records.push_back(record);
+
+      running.push_back(
+          {job.id, now_s + job.walltime_s, job.nodes});
+      engine.schedule_in(sim::from_seconds(actual), [&, id = job.id] {
+        allocator.release(static_cast<std::uint64_t>(id));
+        running.erase(std::find_if(running.begin(), running.end(),
+                                   [id](const Reservation& r) {
+                                     return r.job_id == id;
+                                   }));
+        sample();
+        try_start();
+      });
+      sample();
+    }
+  };
+
+  for (const Job& job : jobs) {
+    engine.schedule_at(sim::from_seconds(job.arrival_s), [&, job] {
+      queue.push(job);
+      try_start();
+    });
+  }
+  engine.run();
+  CTESIM_ENSURES(queue.empty());
+  CTESIM_ENSURES(running.empty());
+  CTESIM_ENSURES(result.records.size() == jobs.size());
+
+  std::sort(result.records.begin(), result.records.end(),
+            [](const JobRecord& a, const JobRecord& b) {
+              return a.job.id < b.job.id;
+            });
+  double first_arrival = 0.0;
+  double last_end = 0.0;
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const JobRecord& r = result.records[i];
+    if (i == 0 || r.job.arrival_s < first_arrival) {
+      first_arrival = r.job.arrival_s;
+    }
+    last_end = std::max(last_end, r.end_s);
+  }
+  result.makespan_s =
+      result.records.empty() ? 0.0 : last_end - first_arrival;
+  return result;
+}
+
+}  // namespace ctesim::batch

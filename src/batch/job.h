@@ -1,0 +1,73 @@
+// Batch jobs: what a user submits to the CTE-Arm queue.
+//
+// The paper evaluates a *production* system — its scheduler allocates
+// topology-aware node blocks to a stream of competing jobs (Section II) —
+// but the rest of ctesim runs one workload at a time. The batch subsystem
+// models the queue: a Job is a node count + wall-time request + an
+// application profile naming which kernel the job spends its time in, and a
+// JobRecord is what the simulated cluster did with it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "roofline/kernel.h"
+
+namespace ctesim::batch {
+
+/// What a job computes: a kernel signature plus weak-scaled per-node work.
+/// `comm_fraction` is the share of the job's runtime spent communicating
+/// when it gets a compact allocation; scattered placements inflate exactly
+/// that share (see RuntimeModel).
+struct JobProfile {
+  const char* name = "generic";
+  roofline::KernelSig sig;
+  double elems_per_node = 0.0;  ///< elements each node sweeps per iteration
+  int iterations = 1;
+  double comm_fraction = 0.0;  ///< [0,1): placement-sensitive runtime share
+};
+
+struct Job {
+  int id = 0;
+  double arrival_s = 0.0;
+  int nodes = 1;
+  double walltime_s = 0.0;  ///< user-requested limit; exceeded => killed
+  /// Explicit runtime (seconds) for trace replay and hand-checked tests;
+  /// <= 0 means "derive from profile via RuntimeModel".
+  double fixed_runtime_s = 0.0;
+  JobProfile profile;
+};
+
+enum class EndReason {
+  kCompleted,
+  kWalltimeKilled,  ///< hit the requested limit before finishing
+};
+
+/// Per-job outcome, filled by run_cluster().
+struct JobRecord {
+  Job job;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::vector<int> alloc_nodes;   ///< nodes the allocator picked
+  double mean_hops = 0.0;         ///< scatter of the allocation
+  double placement_slowdown = 1.0;  ///< runtime factor from scatter
+  EndReason end_reason = EndReason::kCompleted;
+
+  /// Floored at 0: sub-picosecond engine rounding must not produce -0.0.
+  double wait_s() const {
+    const double w = start_s - job.arrival_s;
+    return w > 0.0 ? w : 0.0;
+  }
+  double runtime_s() const { return end_s - start_s; }
+
+  /// Bounded slowdown: (wait + run) / max(run, tau), floored at 1. The
+  /// standard queueing metric — tau stops sub-second jobs from dominating.
+  double bounded_slowdown(double tau_s = 10.0) const {
+    const double run = runtime_s();
+    const double denom = run > tau_s ? run : tau_s;
+    const double sld = (wait_s() + run) / denom;
+    return sld > 1.0 ? sld : 1.0;
+  }
+};
+
+}  // namespace ctesim::batch

@@ -1,0 +1,58 @@
+#include "batch/metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace ctesim::batch {
+
+ClusterMetrics summarize(const ClusterResult& result, int total_nodes,
+                         double tau_s) {
+  CTESIM_EXPECTS(total_nodes >= 1);
+  ClusterMetrics m;
+  m.jobs = static_cast<int>(result.records.size());
+  m.makespan_s = result.makespan_s;
+  if (result.records.empty()) return m;
+
+  double busy_node_s = 0.0;
+  std::vector<double> waits, slowdowns;
+  waits.reserve(result.records.size());
+  slowdowns.reserve(result.records.size());
+  RunningStats hops, placement;
+  for (const JobRecord& r : result.records) {
+    if (r.end_reason == EndReason::kWalltimeKilled) ++m.killed;
+    busy_node_s += static_cast<double>(r.job.nodes) * r.runtime_s();
+    waits.push_back(r.wait_s());
+    slowdowns.push_back(r.bounded_slowdown(tau_s));
+    hops.add(r.mean_hops);
+    placement.add(r.placement_slowdown);
+  }
+  if (m.makespan_s > 0.0) {
+    m.utilization = busy_node_s / (total_nodes * m.makespan_s);
+  }
+  RunningStats wait_stats, sld_stats;
+  for (double w : waits) wait_stats.add(w);
+  for (double s : slowdowns) sld_stats.add(s);
+  m.mean_wait_s = wait_stats.mean();
+  m.p95_wait_s = percentile(waits, 0.95);
+  m.mean_bounded_slowdown = sld_stats.mean();
+  m.p95_bounded_slowdown = percentile(slowdowns, 0.95);
+  m.mean_hops = hops.mean();
+  m.mean_placement_slowdown = placement.mean();
+
+  // Piecewise-constant time average: each sample holds until the next.
+  const auto& frag = result.frag_timeline;
+  if (frag.size() >= 2) {
+    double integral = 0.0;
+    for (std::size_t i = 0; i + 1 < frag.size(); ++i) {
+      integral += frag[i].fragmentation *
+                  (frag[i + 1].time_s - frag[i].time_s);
+    }
+    const double span = frag.back().time_s - frag.front().time_s;
+    if (span > 0.0) m.time_avg_fragmentation = integral / span;
+  }
+  return m;
+}
+
+}  // namespace ctesim::batch

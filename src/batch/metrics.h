@@ -1,0 +1,31 @@
+// Cluster-level metrics over a batch simulation: the numbers a production
+// HPC operator (or a scheduler paper) reports.
+#pragma once
+
+#include "batch/cluster.h"
+
+namespace ctesim::batch {
+
+struct ClusterMetrics {
+  int jobs = 0;
+  int killed = 0;  ///< jobs that hit their wall-time limit
+  double makespan_s = 0.0;
+  /// Busy node-seconds / (total nodes × makespan).
+  double utilization = 0.0;
+  double mean_wait_s = 0.0;
+  double p95_wait_s = 0.0;
+  double mean_bounded_slowdown = 0.0;
+  double p95_bounded_slowdown = 0.0;
+  /// Job-averaged allocation scatter and the runtime it cost.
+  double mean_hops = 0.0;
+  double mean_placement_slowdown = 0.0;
+  /// Time-averaged sched::Allocator::fragmentation() over the run.
+  double time_avg_fragmentation = 0.0;
+};
+
+/// Summarize a finished run; `total_nodes` is the machine size the
+/// utilization is measured against. `tau_s` bounds the slowdown metric.
+ClusterMetrics summarize(const ClusterResult& result, int total_nodes,
+                         double tau_s = 10.0);
+
+}  // namespace ctesim::batch

@@ -1,0 +1,66 @@
+#include "batch/runtime.h"
+
+#include <algorithm>
+
+#include "arch/configs.h"
+#include "simmpi/placement.h"
+#include "util/check.h"
+
+namespace ctesim::batch {
+
+RuntimeModel::RuntimeModel(const arch::MachineModel& machine)
+    : machine_(machine),
+      topology_(machine.interconnect.dims),
+      exec_(machine.node, arch::default_app_compiler(machine)) {
+  CTESIM_EXPECTS(machine.interconnect.kind ==
+                 arch::InterconnectSpec::Kind::kTorus);
+  CTESIM_EXPECTS(topology_.num_nodes() == machine.num_nodes);
+}
+
+double RuntimeModel::base_runtime(const Job& job) const {
+  if (job.fixed_runtime_s > 0.0) return job.fixed_runtime_s;
+  const JobProfile& p = job.profile;
+  CTESIM_EXPECTS(p.elems_per_node > 0.0 && p.iterations >= 1);
+  CTESIM_EXPECTS(p.comm_fraction >= 0.0 && p.comm_fraction < 1.0);
+  // One aggregated rank per node owning every core (the same per-node
+  // granularity the large-scale app sweeps use); weak scaling, so per-node
+  // work is independent of job size.
+  const auto placement =
+      mpi::Placement::per_node(machine_.node, job.nodes);
+  const double t_iter =
+      exec_.time(p.sig, p.elems_per_node, placement.slot(0).cores);
+  // comm_fraction is the communication share at the compact reference, so
+  // compute is the (1 - f) remainder of the total.
+  return p.iterations * t_iter / (1.0 - p.comm_fraction);
+}
+
+double RuntimeModel::reference_runtime(const Job& job) const {
+  return base_runtime(job);
+}
+
+double RuntimeModel::slowdown(const Job& job, double hops) const {
+  const double f = job.profile.comm_fraction;
+  if (f <= 0.0 || job.nodes < 2) return 1.0;
+  const double ref = std::max(reference_hops(job.nodes), 1.0);
+  return std::max(1.0, 1.0 + f * (hops / ref - 1.0));
+}
+
+double RuntimeModel::runtime(const Job& job, double hops) const {
+  return base_runtime(job) * slowdown(job, hops);
+}
+
+double RuntimeModel::reference_hops(int nodes) const {
+  CTESIM_EXPECTS(nodes >= 1 && nodes <= topology_.num_nodes());
+  if (nodes < 2) return 0.0;
+  const auto it = ref_hops_cache_.find(nodes);
+  if (it != ref_hops_cache_.end()) return it->second;
+  // Measure the compact optimum by asking the allocator itself on an empty
+  // machine — keeps the reference consistent with what kContiguous can do.
+  sched::Allocator scratch(topology_);
+  const auto block = scratch.allocate(nodes, sched::Policy::kContiguous);
+  const double hops = scratch.mean_pairwise_hops(block);
+  ref_hops_cache_[nodes] = hops;
+  return hops;
+}
+
+}  // namespace ctesim::batch

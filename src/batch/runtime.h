@@ -1,0 +1,56 @@
+// Job runtime model: how long a batch job runs on a given allocation.
+//
+// Compute time comes from the same roofline::ExecModel the figure benches
+// use (one aggregated rank per node, mpi::Placement::per_node granularity).
+// Placement quality enters as a slowdown on the job's communication share:
+// the further apart the allocator scattered the job's nodes (mean pairwise
+// hops vs the compact reference for that size), the longer its halo
+// exchanges and reductions take. This is the quantity the topology-aware
+// CTE-Arm scheduler exists to minimize (paper Sections II and VI iv).
+#pragma once
+
+#include <map>
+
+#include "arch/machine.h"
+#include "batch/job.h"
+#include "net/topology.h"
+#include "roofline/exec_model.h"
+#include "sched/allocator.h"
+
+namespace ctesim::batch {
+
+class RuntimeModel {
+ public:
+  /// `machine` must have a torus interconnect (the allocator's domain).
+  explicit RuntimeModel(const arch::MachineModel& machine);
+
+  /// Runtime on a compact (reference) allocation — what the workload
+  /// generator pads into a wall-time request.
+  double reference_runtime(const Job& job) const;
+
+  /// Runtime on the specific allocation `nodes`; `hops` is the allocation's
+  /// mean pairwise hop distance (sched::Allocator::mean_pairwise_hops).
+  double runtime(const Job& job, double hops) const;
+
+  /// Placement slowdown factor >= 1: 1 + comm_fraction * (hops/ref - 1),
+  /// clamped below at 1 (a better-than-reference block is not a speedup —
+  /// the reference already is the compact optimum for that size).
+  double slowdown(const Job& job, double hops) const;
+
+  /// Mean pairwise hops of a compact block of `nodes` nodes on an empty
+  /// torus — the reference the scheduler aims for (cached per size).
+  double reference_hops(int nodes) const;
+
+  const arch::MachineModel& machine() const { return machine_; }
+  const net::TorusTopology& topology() const { return topology_; }
+
+ private:
+  double base_runtime(const Job& job) const;
+
+  arch::MachineModel machine_;
+  net::TorusTopology topology_;
+  roofline::ExecModel exec_;
+  mutable std::map<int, double> ref_hops_cache_;
+};
+
+}  // namespace ctesim::batch

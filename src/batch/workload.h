@@ -1,0 +1,61 @@
+// Workload generation for the batch subsystem: synthetic job streams
+// (Poisson or bursty arrivals, log-uniform job sizes and runtimes, padded
+// wall-time requests — the standard knobs of parallel-workload models) and
+// CSV trace replay for feeding recorded queues back through the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "batch/job.h"
+#include "batch/runtime.h"
+
+namespace ctesim::batch {
+
+struct WorkloadConfig {
+  int num_jobs = 500;
+  /// Mean of the exponential inter-arrival gap (Poisson process).
+  double mean_interarrival_s = 8.0;
+  /// Fraction of jobs that arrive glued to their predecessor (campaign
+  /// submissions); 0 gives a pure Poisson stream.
+  double burst_fraction = 0.0;
+  /// Node counts are log2-uniform in [min_nodes, max_nodes] — many small
+  /// jobs, few large ones, like a real queue.
+  int min_nodes = 1;
+  int max_nodes = 32;
+  /// Target runtimes are log-uniform in [min_runtime_s, max_runtime_s];
+  /// the generator picks the iteration count that lands closest.
+  double min_runtime_s = 60.0;
+  double max_runtime_s = 900.0;
+  /// Wall-time requests overshoot the expected runtime by a uniform factor
+  /// in [pad_min, pad_max] — users pad their estimates.
+  double walltime_pad_min = 1.2;
+  double walltime_pad_max = 3.0;
+};
+
+/// The application profiles synthetic jobs draw from (stencil, SpMV,
+/// FEM assembly, MD, spectral transform, column physics — the paper's
+/// application mix expressed as kernel classes).
+const std::vector<JobProfile>& profile_library();
+
+/// Profile by name; throws std::runtime_error if unknown.
+const JobProfile& profile_by_name(const std::string& name);
+
+/// Generate `config.num_jobs` jobs, arrivals sorted ascending. Identical
+/// (config, model, seed) gives an identical stream on every platform.
+std::vector<Job> generate(const WorkloadConfig& config,
+                          const RuntimeModel& model, std::uint64_t seed);
+
+/// Replay a recorded trace. Schema (header required):
+///   id,arrival_s,nodes,walltime_s,runtime_s,profile
+/// `runtime_s` must be > 0 (traces carry measured runtimes); `profile`
+/// names a library profile and supplies the communication sensitivity.
+std::vector<Job> load_trace(const std::string& path);
+
+/// Write jobs in the load_trace schema (round-trips with load_trace for
+/// fixed-runtime jobs).
+void write_trace(const std::vector<Job>& jobs, const RuntimeModel& model,
+                 const std::string& path);
+
+}  // namespace ctesim::batch

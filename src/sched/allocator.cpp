@@ -39,6 +39,75 @@ void Allocator::release(const std::vector<int>& nodes) {
   }
 }
 
+std::vector<int> Allocator::allocate(std::uint64_t job_id, int count,
+                                     Policy policy, std::uint64_t seed) {
+  CTESIM_EXPECTS(!owns(job_id));
+  std::vector<int> nodes = allocate(count, policy, seed);
+  if (!nodes.empty()) owned_[job_id] = nodes;
+  return nodes;
+}
+
+void Allocator::release(std::uint64_t job_id) {
+  const auto it = owned_.find(job_id);
+  CTESIM_EXPECTS(it != owned_.end());
+  release(it->second);
+  owned_.erase(it);
+}
+
+bool Allocator::owns(std::uint64_t job_id) const {
+  return owned_.count(job_id) != 0;
+}
+
+const std::vector<int>& Allocator::nodes_of(std::uint64_t job_id) const {
+  const auto it = owned_.find(job_id);
+  CTESIM_EXPECTS(it != owned_.end());
+  return it->second;
+}
+
+int Allocator::largest_free_block() const {
+  // Connected components over free nodes with torus adjacency.
+  const int n = topology_->num_nodes();
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  int best = 0;
+  for (int start = 0; start < n; ++start) {
+    if (busy_[static_cast<std::size_t>(start)] ||
+        seen[static_cast<std::size_t>(start)]) {
+      continue;
+    }
+    int size = 0;
+    std::deque<int> queue{start};
+    seen[static_cast<std::size_t>(start)] = true;
+    while (!queue.empty()) {
+      const int node = queue.front();
+      queue.pop_front();
+      ++size;
+      const auto coords = topology_->coordinates(node);
+      for (std::size_t d = 0; d < topology_->dims().size(); ++d) {
+        for (int dir : {-1, +1}) {
+          auto next = coords;
+          const int dim_size = topology_->dims()[d];
+          next[d] = (next[d] + dir + dim_size) % dim_size;
+          const int nb = topology_->node_at(next);
+          if (!seen[static_cast<std::size_t>(nb)] &&
+              !busy_[static_cast<std::size_t>(nb)]) {
+            seen[static_cast<std::size_t>(nb)] = true;
+            queue.push_back(nb);
+          }
+        }
+      }
+    }
+    best = std::max(best, size);
+  }
+  return best;
+}
+
+double Allocator::fragmentation() const {
+  const int free = free_nodes();
+  if (free == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_block()) /
+                   static_cast<double>(free);
+}
+
 int Allocator::free_nodes() const {
   return static_cast<int>(std::count(busy_.begin(), busy_.end(), false));
 }
@@ -144,7 +213,7 @@ std::vector<int> Allocator::allocate_contiguous(int count) {
 }
 
 double Allocator::mean_pairwise_hops(const std::vector<int>& nodes) const {
-  CTESIM_EXPECTS(nodes.size() >= 2);
+  if (nodes.size() < 2) return 0.0;
   double total = 0.0;
   std::size_t pairs = 0;
   for (std::size_t i = 0; i < nodes.size(); ++i) {

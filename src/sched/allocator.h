@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "net/topology.h"
@@ -38,14 +39,38 @@ class Allocator {
   std::vector<int> allocate(int count, Policy policy,
                             std::uint64_t seed = 1);
 
+  /// Like allocate(count, ...) but records ownership under `job_id` so the
+  /// batch scheduler can release by job instead of by node list. `job_id`
+  /// must not already own an allocation. Returns empty (and records
+  /// nothing) if not enough free nodes.
+  std::vector<int> allocate(std::uint64_t job_id, int count, Policy policy,
+                            std::uint64_t seed = 1);
+
   /// Release previously allocated/occupied nodes.
   void release(const std::vector<int>& nodes);
+
+  /// Release every node owned by `job_id` (which must own an allocation —
+  /// callers cannot release nodes they don't hold).
+  void release(std::uint64_t job_id);
+
+  bool owns(std::uint64_t job_id) const;
+  const std::vector<int>& nodes_of(std::uint64_t job_id) const;
 
   int free_nodes() const;
   bool is_busy(int node) const;
 
+  /// Size of the largest connected block of free nodes (torus adjacency).
+  /// 0 when the machine is full.
+  int largest_free_block() const;
+
+  /// Fragmentation in [0,1]: 1 - largest_free_block/free_nodes. 0 means all
+  /// free nodes form one block (or the machine is full — nothing to
+  /// fragment); values near 1 mean the free capacity is confetti that only
+  /// small jobs can use contiguously.
+  double fragmentation() const;
+
   /// Mean pairwise hop distance of a node set — the quality metric a
-  /// topology-aware scheduler optimizes.
+  /// topology-aware scheduler optimizes. 0 for fewer than two nodes.
   double mean_pairwise_hops(const std::vector<int>& nodes) const;
 
  private:
@@ -55,6 +80,7 @@ class Allocator {
 
   const net::TorusTopology* topology_;
   std::vector<bool> busy_;
+  std::map<std::uint64_t, std::vector<int>> owned_;
 };
 
 }  // namespace ctesim::sched

@@ -52,4 +52,97 @@ void CsvWriter::write_fields(const std::vector<std::string>& fields) {
   out_ << '\n';
 }
 
+CsvReader::CsvReader(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("CsvReader: cannot open " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = parse_line(line);
+    if (header_.empty()) {
+      header_ = std::move(fields);
+      continue;
+    }
+    if (fields.size() != header_.size()) {
+      throw std::runtime_error("CsvReader: ragged row in " + path);
+    }
+    rows_.push_back(std::move(fields));
+  }
+  if (header_.empty()) {
+    throw std::runtime_error("CsvReader: no header row in " + path);
+  }
+}
+
+bool CsvReader::has_column(const std::string& column) const {
+  for (const auto& h : header_) {
+    if (h == column) return true;
+  }
+  return false;
+}
+
+const std::string& CsvReader::cell(std::size_t row, std::size_t col) const {
+  CTESIM_EXPECTS(row < rows_.size() && col < header_.size());
+  return rows_[row][col];
+}
+
+const std::string& CsvReader::cell(std::size_t row,
+                                   const std::string& column) const {
+  return cell(row, column_index(column));
+}
+
+double CsvReader::number(std::size_t row, const std::string& column) const {
+  const std::string& text = cell(row, column);
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    throw std::runtime_error("CsvReader: non-numeric cell '" + text +
+                             "' in column " + column);
+  }
+  if (consumed != text.size()) {
+    throw std::runtime_error("CsvReader: non-numeric cell '" + text +
+                             "' in column " + column);
+  }
+  return value;
+}
+
+std::vector<std::string> CsvReader::parse_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::size_t CsvReader::column_index(const std::string& column) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == column) return i;
+  }
+  throw std::runtime_error("CsvReader: no column named " + column);
+}
+
 }  // namespace ctesim

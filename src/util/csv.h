@@ -1,5 +1,7 @@
-// CSV output for the bench harnesses: every figure binary can dump its series
-// as CSV (via --csv=path) so results can be re-plotted outside the terminal.
+// CSV input/output. Output: every figure binary can dump its series as CSV
+// (via --csv=path) so results can be re-plotted outside the terminal.
+// Input: the batch subsystem replays job traces from CSV (see
+// batch/workload.h for the trace schema).
 #pragma once
 
 #include <fstream>
@@ -28,6 +30,36 @@ class CsvWriter {
   std::size_t columns_;
 
   void write_fields(const std::vector<std::string>& fields);
+};
+
+/// Reads a whole CSV file (header row + data rows) into memory. Handles
+/// RFC 4180 quoting within a line ("" escapes a quote); embedded newlines
+/// inside quoted fields are not supported — none of our writers emit them.
+/// Throws std::runtime_error on unopenable files or ragged rows.
+class CsvReader {
+ public:
+  explicit CsvReader(const std::string& path);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t rows() const { return rows_.size(); }
+
+  /// True if the header contains `column`.
+  bool has_column(const std::string& column) const;
+
+  const std::string& cell(std::size_t row, std::size_t col) const;
+  const std::string& cell(std::size_t row, const std::string& column) const;
+
+  /// Cell parsed as a double; throws std::runtime_error on non-numeric.
+  double number(std::size_t row, const std::string& column) const;
+
+  /// Split one CSV line into fields (exposed for tests).
+  static std::vector<std::string> parse_line(const std::string& line);
+
+ private:
+  std::size_t column_index(const std::string& column) const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
 };
 
 }  // namespace ctesim

@@ -90,5 +90,93 @@ TEST(Allocator, OccupyRejectsDoubleBooking) {
   EXPECT_THROW(alloc.release({6}), ContractError);
 }
 
+TEST(Allocator, JobIdTrackedAllocation) {
+  auto torus = cte_torus();
+  Allocator alloc(torus);
+  const auto job = alloc.allocate(7u, 16, Policy::kLinear);
+  ASSERT_EQ(job.size(), 16u);
+  EXPECT_TRUE(alloc.owns(7u));
+  EXPECT_EQ(alloc.nodes_of(7u), job);
+  EXPECT_EQ(alloc.free_nodes(), 176);
+  alloc.release(7u);
+  EXPECT_FALSE(alloc.owns(7u));
+  EXPECT_EQ(alloc.free_nodes(), 192);
+}
+
+TEST(Allocator, JobIdRejectsForeignAndDoubleRelease) {
+  auto torus = cte_torus();
+  Allocator alloc(torus);
+  ASSERT_FALSE(alloc.allocate(1u, 8, Policy::kLinear).empty());
+  // A job id that owns nothing cannot release anything.
+  EXPECT_THROW(alloc.release(2u), ContractError);
+  EXPECT_THROW(alloc.nodes_of(2u), ContractError);
+  // One allocation per job id at a time.
+  EXPECT_THROW(alloc.allocate(1u, 4, Policy::kLinear), ContractError);
+  alloc.release(1u);
+  EXPECT_THROW(alloc.release(1u), ContractError);
+}
+
+TEST(Allocator, JobIdFailedAllocationRecordsNothing) {
+  auto torus = cte_torus();
+  Allocator alloc(torus);
+  ASSERT_FALSE(alloc.allocate(1u, 192, Policy::kLinear).empty());
+  EXPECT_TRUE(alloc.allocate(2u, 1, Policy::kLinear).empty());
+  EXPECT_FALSE(alloc.owns(2u));
+}
+
+TEST(Allocator, ReleaseReuseCycle) {
+  auto torus = cte_torus();
+  Allocator alloc(torus);
+  const auto a = alloc.allocate(1u, 96, Policy::kLinear);
+  const auto b = alloc.allocate(2u, 96, Policy::kLinear);
+  EXPECT_EQ(alloc.free_nodes(), 0);
+  alloc.release(1u);
+  // The freed block is reusable by a new job.
+  const auto c = alloc.allocate(3u, 96, Policy::kLinear);
+  EXPECT_EQ(c, a);
+  alloc.release(2u);
+  alloc.release(3u);
+  EXPECT_EQ(alloc.free_nodes(), 192);
+  (void)b;
+}
+
+TEST(Allocator, MeanPairwiseHopsEdgeCases) {
+  auto torus = cte_torus();
+  Allocator alloc(torus);
+  EXPECT_EQ(alloc.mean_pairwise_hops({}), 0.0);
+  EXPECT_EQ(alloc.mean_pairwise_hops({5}), 0.0);
+  // Two adjacent nodes (last torus dimension has stride 1): exactly 1 hop.
+  EXPECT_EQ(alloc.mean_pairwise_hops({0, 1}), 1.0);
+}
+
+TEST(Allocator, FragmentationHandChecked) {
+  // 1-D ring of 8: occupying nodes 0 and 4 splits the free space into two
+  // blocks of 3, so the largest block holds half the free nodes.
+  net::TorusTopology ring({8});
+  Allocator alloc(ring);
+  EXPECT_EQ(alloc.largest_free_block(), 8);
+  EXPECT_EQ(alloc.fragmentation(), 0.0);
+  alloc.occupy({0, 4});
+  EXPECT_EQ(alloc.largest_free_block(), 3);
+  EXPECT_DOUBLE_EQ(alloc.fragmentation(), 0.5);
+  // Full machine: nothing free, nothing fragmented by convention.
+  alloc.occupy({1, 2, 3, 5, 6, 7});
+  EXPECT_EQ(alloc.largest_free_block(), 0);
+  EXPECT_EQ(alloc.fragmentation(), 0.0);
+}
+
+TEST(Allocator, FragmentationOnTorus) {
+  auto torus = cte_torus();
+  Allocator alloc(torus);
+  // A compact 2x2x2... block leaves one big free region.
+  const auto job = alloc.allocate(1u, 8, Policy::kContiguous);
+  ASSERT_EQ(job.size(), 8u);
+  const double compact_frag = alloc.fragmentation();
+  alloc.release(1u);
+  // The same capacity scattered leaves free space more broken up.
+  const auto scatter = alloc.allocate(2u, 8, Policy::kRandom, 17);
+  EXPECT_LE(compact_frag, alloc.fragmentation());
+}
+
 }  // namespace
 }  // namespace ctesim::sched

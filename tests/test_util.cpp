@@ -201,5 +201,47 @@ TEST(Csv, EscapeQuotes) {
   EXPECT_EQ(CsvWriter::escape("plain"), "plain");
 }
 
+TEST(Csv, ReaderRoundTripsWriterOutput) {
+  const std::string path = ::testing::TempDir() + "ctesim_csv_rw_test.csv";
+  {
+    CsvWriter csv(path, {"name", "value"});
+    csv.row(std::vector<std::string>{"with,comma", "1.5"});
+    csv.row(std::vector<std::string>{"say \"hi\"", "-2"});
+  }
+  CsvReader reader(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(reader.header(),
+            (std::vector<std::string>{"name", "value"}));
+  ASSERT_EQ(reader.rows(), 2u);
+  EXPECT_TRUE(reader.has_column("value"));
+  EXPECT_FALSE(reader.has_column("nope"));
+  EXPECT_EQ(reader.cell(0, "name"), "with,comma");
+  EXPECT_EQ(reader.cell(1, 0), "say \"hi\"");
+  EXPECT_DOUBLE_EQ(reader.number(0, "value"), 1.5);
+  EXPECT_DOUBLE_EQ(reader.number(1, "value"), -2.0);
+  EXPECT_THROW(reader.number(0, "name"), std::runtime_error);
+  EXPECT_THROW(reader.cell(0, "nope"), std::runtime_error);
+}
+
+TEST(Csv, ReaderParsesQuotedFields) {
+  const auto fields = CsvReader::parse_line("a,\"b,c\",\"d\"\"e\",");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Csv, ReaderRejectsMissingAndRaggedFiles) {
+  EXPECT_THROW(CsvReader("/nonexistent/nope.csv"), std::runtime_error);
+  const std::string path = ::testing::TempDir() + "ctesim_csv_bad_test.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2,3\n";
+  }
+  EXPECT_THROW(CsvReader reader(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace ctesim
