@@ -10,13 +10,19 @@
 #include "kernels/stencil.h"
 #include "report/plot.h"
 #include "report/table.h"
+#include "trace/chrome.h"
+#include "trace/recorder.h"
 
 using namespace ctesim;
 
 int main(int argc, char** argv) {
   std::string csv_path;
+  std::string trace_path;
+  Cli cli("fig11_nemo", "NEMO scalability");
+  cli.option("trace", &trace_path,
+             "write a Chrome trace of the 8-node CTE-Arm run to this path");
   if (!bench::parse_harness(argc, argv, "fig11_nemo", "NEMO scalability",
-                            &csv_path)) {
+                            &csv_path, &cli)) {
     return 0;
   }
   bench::banner("Fig. 11", "NEMO: scalability (BENCH @ ORCA1)");
@@ -80,6 +86,20 @@ int main(int argc, char** argv) {
       "(paper: equal); CTE scaling flattens near 128 nodes\n",
       r8, r24, apps::run_nemo(cte, 48).total_time,
       apps::run_nemo(mn4, 27).total_time);
+
+  if (!trace_path.empty()) {
+    // A dedicated traced run at NEMO's memory minimum: the many small halo
+    // exchanges per step (the strong-scaling limiter) dominate the lanes.
+    trace::Recorder recorder;
+    apps::NemoConfig traced;
+    traced.recorder = &recorder;
+    apps::run_nemo(cte, 8, traced);
+    trace::write_chrome_trace(recorder, trace_path);
+    std::printf(
+        "\ntrace: 8-node CTE-Arm run, %zu spans -> %s (open in "
+        "chrome://tracing or https://ui.perfetto.dev)\n",
+        recorder.spans().size(), trace_path.c_str());
+  }
 
   // Native anchor: the ocean-dynamics pattern (conservative stencil sweep)
   // conserves the field integral in the kernel library.

@@ -1,7 +1,8 @@
-// Timeline view of a simulated run: record a trace, render an ASCII Gantt
-// (one lane per rank), and export the raw records as CSV for external
-// tools — the Paraver-style workflow the BSC authors of the paper use,
-// in miniature.
+// Timeline view of a simulated run: record a trace through the
+// observability subsystem (src/trace/), render an ASCII Gantt (one lane per
+// rank), and export the raw records as CSV or as a Chrome trace for
+// chrome://tracing / Perfetto — the Paraver-style workflow the BSC authors
+// of the paper use, in miniature.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -11,16 +12,20 @@
 #include "report/gantt.h"
 #include "roofline/kernel_library.h"
 #include "simmpi/world.h"
+#include "trace/chrome.h"
 #include "util/cli.h"
 
 using namespace ctesim;
 
 int main(int argc, char** argv) {
   std::string csv_path;
+  std::string trace_path;
   std::int64_t ranks = 6;
   Cli cli("trace_timeline", "record and render an execution timeline");
   cli.option("ranks", &ranks, "number of simulated ranks")
-      .option("csv", &csv_path, "write the raw trace as CSV");
+      .option("csv", &csv_path, "write the raw trace as CSV")
+      .option("trace", &trace_path,
+              "write a Chrome trace (chrome://tracing / Perfetto)");
   if (!cli.parse(argc, argv)) return 0;
 
   mpi::WorldOptions options;
@@ -46,7 +51,7 @@ int main(int argc, char** argv) {
   });
 
   report::Gantt gantt("3 steps of an unbalanced solver on CTE-Arm",
-                      world.trace(), world.num_ranks(), 72);
+                      *world.recorder(), world.num_ranks(), 72);
   gantt.print(std::cout);
 
   std::printf(
@@ -58,7 +63,14 @@ int main(int argc, char** argv) {
   if (!csv_path.empty()) {
     world.write_trace_csv(csv_path);
     std::printf("raw trace written to %s (%zu records)\n", csv_path.c_str(),
-                world.trace().size());
+                world.recorder()->spans().size());
+  }
+  if (!trace_path.empty()) {
+    trace::write_chrome_trace(*world.recorder(), trace_path);
+    std::printf(
+        "Chrome trace written to %s — open in chrome://tracing or "
+        "https://ui.perfetto.dev\n",
+        trace_path.c_str());
   }
   return 0;
 }

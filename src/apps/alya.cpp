@@ -49,6 +49,7 @@ AlyaResult run_alya(const arch::MachineModel& machine, int nodes,
   options.machine = machine;
   options.compute_jitter = 0.02;  // OS noise / partition imbalance
   options.seed = 1000 + static_cast<std::uint64_t>(nodes);
+  options.recorder = config.recorder;
   mpi::World world(std::move(options),
                    mpi::Placement::per_domain(machine.node, nodes));
 

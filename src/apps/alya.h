@@ -9,6 +9,10 @@
 
 #include "arch/machine.h"
 
+namespace ctesim::trace {
+class Recorder;
+}
+
 namespace ctesim::apps {
 
 struct AlyaConfig {
@@ -31,6 +35,9 @@ struct AlyaConfig {
   // --- simulation controls ---
   int sim_steps = 2;        ///< time steps actually simulated
   int sim_solver_iters = 40;  ///< CG iterations simulated per step
+  /// Record per-rank compute/communication spans into this observability
+  /// recorder (see src/trace/); nullptr disables tracing.
+  trace::Recorder* recorder = nullptr;
 };
 
 struct AlyaResult {

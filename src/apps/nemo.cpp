@@ -46,6 +46,7 @@ NemoResult run_nemo(const arch::MachineModel& machine, int nodes,
   options.machine = machine;
   options.compute_jitter = 0.02;
   options.seed = 2000 + static_cast<std::uint64_t>(nodes);
+  options.recorder = config.recorder;
   // MPI-only full population: one rank per core, as the paper runs NEMO.
   mpi::World world(std::move(options),
                    mpi::Placement::per_core(machine.node, nodes *

@@ -8,6 +8,10 @@
 
 #include "arch/machine.h"
 
+namespace ctesim::trace {
+class Recorder;
+}
+
 namespace ctesim::apps {
 
 struct NemoConfig {
@@ -33,6 +37,9 @@ struct NemoConfig {
   double replicated_bytes_per_rank = 0.548e9;
   // --- simulation controls ---
   int sim_steps = 2;
+  /// Record per-rank compute/communication spans into this observability
+  /// recorder (see src/trace/); nullptr disables tracing.
+  trace::Recorder* recorder = nullptr;
 };
 
 struct NemoResult {

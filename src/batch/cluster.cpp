@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <functional>
+#include <string>
 
 #include "core/engine.h"
 #include "core/time.h"
+#include "trace/recorder.h"
 #include "util/check.h"
+#include "util/log.h"
 
 namespace ctesim::batch {
 
@@ -39,10 +42,28 @@ ClusterResult run_cluster(const RuntimeModel& model,
   ClusterResult result;
   result.records.reserve(jobs.size());
 
+  trace::Recorder* rec = options.recorder;
+  const bool tracing = rec && rec->enabled();
+  if (tracing) engine.set_recorder(rec);
+
   const auto sample = [&] {
+    const int busy = total_nodes - allocator.free_nodes();
     result.frag_timeline.push_back({sim::to_seconds(engine.now()),
-                                    allocator.fragmentation(),
-                                    total_nodes - allocator.free_nodes()});
+                                    allocator.fragmentation(), busy});
+    if (tracing) {
+      const auto track = trace::Track::global();
+      const sim::Time now = engine.now();
+      rec->counter(track, "batch", "queue_depth", now,
+                   static_cast<double>(queue.size()));
+      rec->counter(track, "batch", "busy_nodes", now,
+                   static_cast<double>(busy));
+      rec->counter(track, "batch", "utilization", now,
+                   static_cast<double>(busy) / total_nodes);
+      rec->counter(track, "batch", "fragmentation", now,
+                   allocator.fragmentation());
+      rec->counter(track, "batch", "running_jobs", now,
+                   static_cast<double>(running.size()));
+    }
   };
 
   std::function<void()> try_start;
@@ -72,23 +93,52 @@ ClusterResult run_cluster(const RuntimeModel& model,
           killed ? EndReason::kWalltimeKilled : EndReason::kCompleted;
       result.records.push_back(record);
 
+      if (tracing) {
+        const auto track = trace::Track::job(job.id);
+        rec->end(track, engine.now());  // closes the "queued" span
+        rec->begin(track, "batch", "run",
+                   std::string(job.profile.name) + " " +
+                       std::to_string(job.nodes) + " nodes",
+                   engine.now());
+      }
       running.push_back(
           {job.id, now_s + job.walltime_s, job.nodes});
-      engine.schedule_in(sim::from_seconds(actual), [&, id = job.id] {
-        allocator.release(static_cast<std::uint64_t>(id));
-        running.erase(std::find_if(running.begin(), running.end(),
-                                   [id](const Reservation& r) {
-                                     return r.job_id == id;
-                                   }));
-        sample();
-        try_start();
-      });
+      engine.schedule_in(
+          sim::from_seconds(actual),
+          [&, id = job.id, killed, modeled,
+           walltime = job.walltime_s] {
+            if (killed) {
+              CTESIM_WARN << "batch: job " << id << " wall-time killed at "
+                          << walltime << " s (needed " << modeled
+                          << " s, overran its request by "
+                          << 100.0 * (modeled / walltime - 1.0) << "%)";
+            }
+            if (tracing) {
+              const auto track = trace::Track::job(id);
+              rec->end(track, engine.now());  // closes the "run" span
+              rec->instant(track, "batch", killed ? "killed" : "finish", "",
+                           engine.now());
+            }
+            allocator.release(static_cast<std::uint64_t>(id));
+            running.erase(std::find_if(running.begin(), running.end(),
+                                       [id](const Reservation& r) {
+                                         return r.job_id == id;
+                                       }));
+            sample();
+            try_start();
+          });
       sample();
     }
   };
 
   for (const Job& job : jobs) {
     engine.schedule_at(sim::from_seconds(job.arrival_s), [&, job] {
+      if (tracing) {
+        const auto track = trace::Track::job(job.id);
+        rec->instant(track, "batch", "submit", job.profile.name,
+                     engine.now());
+        rec->begin(track, "batch", "queued", job.profile.name, engine.now());
+      }
       queue.push(job);
       try_start();
     });

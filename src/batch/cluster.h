@@ -17,12 +17,22 @@
 #include "batch/runtime.h"
 #include "sched/allocator.h"
 
+namespace ctesim::trace {
+class Recorder;
+}
+
 namespace ctesim::batch {
 
 struct ClusterOptions {
   sched::Policy placement = sched::Policy::kContiguous;
   QueuePolicy queue = QueuePolicy::kEasyBackfill;
   std::uint64_t seed = 1;  ///< placement seed stream (random policy)
+  /// When set, the run streams observability events into this recorder:
+  /// per-job "queued"/"run" spans and submit/finish/killed instants on
+  /// trace::Track::job(id), plus queue_depth / busy_nodes / utilization /
+  /// fragmentation counters on the global track (category "batch"). Export
+  /// with trace::write_chrome_trace. Must outlive run_cluster().
+  trace::Recorder* recorder = nullptr;
 };
 
 /// Machine state right after a job started or finished.

@@ -35,9 +35,11 @@ ClusterMetrics summarize(const ClusterResult& result, int total_nodes,
   for (double w : waits) wait_stats.add(w);
   for (double s : slowdowns) sld_stats.add(s);
   m.mean_wait_s = wait_stats.mean();
-  m.p95_wait_s = percentile(waits, 0.95);
+  m.p95_wait_s = p95(waits);
+  m.p99_wait_s = p99(waits);
   m.mean_bounded_slowdown = sld_stats.mean();
-  m.p95_bounded_slowdown = percentile(slowdowns, 0.95);
+  m.p95_bounded_slowdown = p95(slowdowns);
+  m.p99_bounded_slowdown = p99(slowdowns);
   m.mean_hops = hops.mean();
   m.mean_placement_slowdown = placement.mean();
 

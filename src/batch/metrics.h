@@ -14,8 +14,10 @@ struct ClusterMetrics {
   double utilization = 0.0;
   double mean_wait_s = 0.0;
   double p95_wait_s = 0.0;
+  double p99_wait_s = 0.0;
   double mean_bounded_slowdown = 0.0;
   double p95_bounded_slowdown = 0.0;
+  double p99_bounded_slowdown = 0.0;
   /// Job-averaged allocation scatter and the runtime it cost.
   double mean_hops = 0.0;
   double mean_placement_slowdown = 0.0;

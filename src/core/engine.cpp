@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "trace/recorder.h"
+#include "util/check.h"
+
 namespace ctesim::sim {
 
 Engine::~Engine() {
@@ -27,9 +30,20 @@ void Engine::spawn(Task<> task) {
   schedule_in(0, [handle] { handle.resume(); });
 }
 
+void Engine::set_recorder(trace::Recorder* recorder,
+                          std::uint64_t sample_interval) {
+  CTESIM_EXPECTS(sample_interval >= 1);
+  recorder_ = recorder;
+  sample_interval_ = sample_interval;
+}
+
 void Engine::dispatch(Event&& event) {
   now_ = event.time;
   ++events_processed_;
+  if (recorder_ && events_processed_ % sample_interval_ == 0) {
+    recorder_->counter(trace::Track::global(), "core", "events_processed",
+                       now_, static_cast<double>(events_processed_));
+  }
   event.fn();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/recorder.h"
 #include "util/check.h"
 
 namespace ctesim::net {
@@ -69,6 +70,16 @@ sim::Time CongestionModel::transfer_at(int src, int dst, std::uint64_t bytes,
     head = start + per_hop;  // cut-through: the head moves on per hop
   }
   queueing_s_ += sim::to_seconds(queued);
+  if (recorder_ && recorder_->enabled()) {
+    int busy = 0;
+    for (const auto& [link, until] : busy_until_) {
+      if (until > now) ++busy;
+    }
+    recorder_->counter(trace::Track::global(), "net", "queueing_s", now,
+                       queueing_s_);
+    recorder_->counter(trace::Track::global(), "net", "busy_links", now,
+                       static_cast<double>(busy));
+  }
   // The tail clears the last (or slowest) link then; never earlier than
   // the contention-free end-to-end model.
   return std::max(tail, now + sim::from_seconds(base.time_s));

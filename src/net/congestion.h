@@ -18,6 +18,10 @@
 #include "core/time.h"
 #include "net/network.h"
 
+namespace ctesim::trace {
+class Recorder;
+}
+
 namespace ctesim::net {
 
 /// A directed link of the torus/fat-tree, identified by (node, dimension,
@@ -58,10 +62,16 @@ class CongestionModel {
   /// Forget all link state (e.g. between independent experiments).
   void reset();
 
+  /// Stream link-utilization counters onto `recorder`'s global track
+  /// (category "net"): cumulative queueing seconds and the number of links
+  /// busy at each injection. Pass nullptr to detach.
+  void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   const Network* network_;
   std::unordered_map<LinkId, sim::Time, LinkIdHash> busy_until_;
   double queueing_s_ = 0.0;
+  trace::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace ctesim::net

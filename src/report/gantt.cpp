@@ -1,7 +1,7 @@
 #include "report/gantt.h"
 
 #include <algorithm>
-#include <cstring>
+#include <cstdio>
 #include <ostream>
 
 #include "util/check.h"
@@ -9,24 +9,27 @@
 
 namespace ctesim::report {
 
-Gantt::Gantt(std::string title, const std::vector<mpi::TraceRecord>& trace,
+Gantt::Gantt(std::string title, const trace::Recorder& recorder,
              int num_ranks, int width)
-    : title_(std::move(title)),
-      trace_(trace),
-      num_ranks_(num_ranks),
-      width_(width) {
+    : Gantt(std::move(title), recorder.spans(), num_ranks, width) {}
+
+Gantt::Gantt(std::string title, const std::vector<trace::Span>& spans,
+             int num_ranks, int width)
+    : title_(std::move(title)), num_ranks_(num_ranks), width_(width) {
   CTESIM_EXPECTS(num_ranks >= 1);
   CTESIM_EXPECTS(width >= 16);
-  for (const auto& r : trace_) {
-    CTESIM_EXPECTS(r.rank >= 0 && r.rank < num_ranks);
-    t_end_ = std::max(t_end_, r.end_s);
+  for (const auto& s : spans) {
+    if (s.track.kind != trace::TrackKind::kRank) continue;
+    CTESIM_EXPECTS(s.track.index >= 0 && s.track.index < num_ranks);
+    trace_.push_back(s);
+    t_end_ = std::max(t_end_, sim::to_seconds(s.end));
   }
 }
 
-char Gantt::glyph_for(const char* kind) const {
-  if (std::strcmp(kind, "compute") == 0) return '#';
-  if (std::strcmp(kind, "send") == 0) return '>';
-  if (std::strcmp(kind, "recv") == 0) return '<';
+char Gantt::glyph_for(const std::string& kind) const {
+  if (kind == "compute") return '#';
+  if (kind == "send") return '>';
+  if (kind == "recv") return '<';
   return '?';
 }
 
@@ -34,9 +37,9 @@ double Gantt::busy_fraction(int rank, const std::string& kind) const {
   CTESIM_EXPECTS(rank >= 0 && rank < num_ranks_);
   if (t_end_ <= 0.0) return 0.0;
   double busy = 0.0;
-  for (const auto& r : trace_) {
-    if (r.rank == rank && kind == r.kind) {
-      busy += r.end_s - r.start_s;
+  for (const auto& s : trace_) {
+    if (s.track.index == rank && kind == s.name) {
+      busy += sim::to_seconds(s.end) - sim::to_seconds(s.start);
     }
   }
   return busy / t_end_;
@@ -54,14 +57,16 @@ void Gantt::print(std::ostream& os) const {
     std::string lane(static_cast<std::size_t>(width_), '.');
     // Paint in trace order; later records overwrite (they are rarer and
     // usually shorter, so communication stays visible over compute).
-    for (const auto& r : trace_) {
-      if (r.rank != rank) continue;
+    for (const auto& s : trace_) {
+      if (s.track.index != rank) continue;
+      const double start_s = sim::to_seconds(s.start);
+      const double end_s = sim::to_seconds(s.end);
       const int c0 = std::clamp(
-          static_cast<int>(r.start_s / t_end_ * width_), 0, width_ - 1);
+          static_cast<int>(start_s / t_end_ * width_), 0, width_ - 1);
       const int c1 = std::clamp(
-          static_cast<int>(r.end_s / t_end_ * width_), c0, width_ - 1);
+          static_cast<int>(end_s / t_end_ * width_), c0, width_ - 1);
       for (int c = c0; c <= c1; ++c) {
-        lane[static_cast<std::size_t>(c)] = glyph_for(r.kind);
+        lane[static_cast<std::size_t>(c)] = glyph_for(s.name);
       }
     }
     char label[16];

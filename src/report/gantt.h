@@ -1,26 +1,35 @@
 // ASCII Gantt chart of a simulated-MPI execution trace: one lane per rank,
 // compute/send/recv intervals shaded differently. Gives the classic
 // "timeline view" (Paraver/Vampir style) for small simulations.
+//
+// Renders directly from the observability subsystem: any trace::Recorder
+// holding per-rank spans (track kind kRank, e.g. what mpi::World records)
+// can be drawn; spans on other tracks are ignored.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
-#include "simmpi/world.h"
+#include "trace/recorder.h"
 
 namespace ctesim::report {
 
 class Gantt {
  public:
-  /// Builds the chart from a recorded trace (WorldOptions::trace = true).
-  /// `width` is the number of character columns for the time axis.
-  Gantt(std::string title, const std::vector<mpi::TraceRecord>& trace,
+  /// Builds the chart from the recorder a traced run filled in (see
+  /// mpi::WorldOptions::trace / ::recorder). `width` is the number of
+  /// character columns for the time axis.
+  Gantt(std::string title, const trace::Recorder& recorder, int num_ranks,
+        int width = 72);
+
+  /// Same, from raw spans (tests, hand-built timelines).
+  Gantt(std::string title, const std::vector<trace::Span>& spans,
         int num_ranks, int width = 72);
 
   void print(std::ostream& os) const;
 
-  /// Fraction of the makespan rank `r` spent in records of `kind`
+  /// Fraction of the makespan rank `r` spent in spans named `kind`
   /// ("compute", "send", "recv") — the utilization numbers printed in the
   /// legend, exposed for tests.
   double busy_fraction(int rank, const std::string& kind) const;
@@ -28,10 +37,10 @@ class Gantt {
   double makespan() const { return t_end_; }
 
  private:
-  char glyph_for(const char* kind) const;
+  char glyph_for(const std::string& kind) const;
 
   std::string title_;
-  std::vector<mpi::TraceRecord> trace_;
+  std::vector<trace::Span> trace_;  ///< rank-track spans only
   int num_ranks_;
   int width_;
   double t_end_ = 0.0;

@@ -76,8 +76,16 @@ World::World(WorldOptions options, Placement placement)
     everyone[static_cast<std::size_t>(r)] = r;
   }
   world_group_.reset(new Group(std::move(everyone), /*context=*/0));
+  if (options_.recorder) {
+    recorder_ = options_.recorder;
+  } else if (options_.trace) {
+    owned_recorder_ = std::make_unique<trace::Recorder>(true);
+    recorder_ = owned_recorder_.get();
+  }
+  if (recorder_) engine_.set_recorder(recorder_);
   if (options_.congestion) {
     congestion_.reset(new net::CongestionModel(network_));
+    if (recorder_) congestion_->set_recorder(recorder_);
   }
   // All ranks of a node stream concurrently (SPMD); each one's bandwidth
   // is an equal share of what their combined cores can draw.
@@ -115,10 +123,9 @@ sim::Channel<Message>& World::mailbox(int dst, int src, int tag) {
 
 void World::record(int rank, sim::Time start, sim::Time end, const char* kind,
                    const char* detail, std::uint64_t bytes, int peer) {
-  if (!options_.trace) return;
-  trace_.push_back(TraceRecord{rank, sim::to_seconds(start),
-                               sim::to_seconds(end), kind, detail, bytes,
-                               peer});
+  if (!recorder_ || !recorder_->enabled()) return;
+  recorder_->span(trace::Track::rank(rank), "mpi", kind, detail, start, end,
+                  bytes, peer);
 }
 
 double World::run(const RankFn& body) {
@@ -167,14 +174,16 @@ std::vector<std::string> World::phase_names() const {
 }
 
 void World::write_trace_csv(const std::string& path) const {
-  CTESIM_EXPECTS(options_.trace);
+  CTESIM_EXPECTS(recorder_ != nullptr);
   CsvWriter csv(path, {"rank", "start_s", "end_s", "kind", "detail", "bytes",
                        "peer"});
-  for (const auto& r : trace_) {
+  for (const auto& s : recorder_->spans()) {
+    if (s.track.kind != trace::TrackKind::kRank) continue;
     csv.row(std::vector<std::string>{
-        std::to_string(r.rank), std::to_string(r.start_s),
-        std::to_string(r.end_s), r.kind, r.detail, std::to_string(r.bytes),
-        std::to_string(r.peer)});
+        std::to_string(s.track.index),
+        std::to_string(sim::to_seconds(s.start)),
+        std::to_string(sim::to_seconds(s.end)), s.name, s.detail,
+        std::to_string(s.bytes), std::to_string(s.peer)});
   }
 }
 

@@ -25,6 +25,7 @@
 #include "net/network.h"
 #include "roofline/exec_model.h"
 #include "simmpi/placement.h"
+#include "trace/recorder.h"
 #include "util/rng.h"
 
 namespace ctesim::mpi {
@@ -69,17 +70,6 @@ struct Request {
   sim::Time complete_at = 0;
 };
 
-/// One record of the execution trace (see WorldOptions::trace).
-struct TraceRecord {
-  int rank = 0;
-  double start_s = 0.0;
-  double end_s = 0.0;
-  const char* kind = "";  ///< "compute", "send", "recv", ...
-  const char* detail = "";
-  std::uint64_t bytes = 0;
-  int peer = -1;
-};
-
 struct WorldOptions {
   arch::MachineModel machine;
   /// Compiler used for the workload; defaults to the paper's choice for the
@@ -92,8 +82,13 @@ struct WorldOptions {
   std::uint64_t seed = 42;
   /// Per-pair network bandwidth jitter amplitude (see net::Network).
   double network_jitter = 0.03;
-  /// Record a per-rank execution timeline (write_trace_csv after run()).
+  /// Record a per-rank execution timeline into a World-owned
+  /// trace::Recorder (see World::recorder(), write_trace_csv).
   bool trace = false;
+  /// Record into this externally owned recorder instead — lets one trace
+  /// span the whole simulation (batch queue + per-rank MPI + network).
+  /// Implies tracing regardless of `trace`. Must outlive the World.
+  trace::Recorder* recorder = nullptr;
   /// Model shared-link contention on the interconnect (see
   /// net::CongestionModel). Off by default: the figure harnesses are
   /// calibrated contention-free; turn on for congestion studies.
@@ -149,9 +144,13 @@ class World {
   }
 
   // --- tracing ------------------------------------------------------------
-  const std::vector<TraceRecord>& trace() const { return trace_; }
-  /// Write the recorded timeline as CSV (rank,start,end,kind,detail,bytes,
-  /// peer). Requires WorldOptions::trace.
+  /// The recorder events go to: the external one from WorldOptions, the
+  /// World-owned one when WorldOptions::trace is set, else nullptr.
+  /// Per-rank compute/send/recv spans land on trace::Track::rank(r) with
+  /// category "mpi"; render with report::Gantt or trace::write_chrome_trace.
+  const trace::Recorder* recorder() const { return recorder_; }
+  /// Write the recorded per-rank timeline as CSV (rank,start,end,kind,
+  /// detail,bytes,peer). Requires tracing to be on.
   void write_trace_csv(const std::string& path) const;
 
  private:
@@ -176,7 +175,8 @@ class World {
   std::unique_ptr<Group> world_group_;
   std::unique_ptr<net::CongestionModel> congestion_;
   int next_group_context_ = 1;
-  std::vector<TraceRecord> trace_;
+  std::unique_ptr<trace::Recorder> owned_recorder_;
+  trace::Recorder* recorder_ = nullptr;
   /// Fair raw-bandwidth share of one rank when all node ranks run (SPMD).
   double rank_bw_share_ = 0.0;
   bool ran_ = false;

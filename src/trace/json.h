@@ -1,0 +1,35 @@
+// Minimal recursive-descent JSON parser, used to validate that exported
+// Chrome traces are well-formed (tests round-trip every trace through it).
+// Full RFC 8259 value grammar; \uXXXX escapes are decoded to UTF-8.
+// Not a general-purpose library: optimized for clarity, not throughput.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ctesim::trace::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  ///< preserves order
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Member lookup on objects; nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const;
+};
+
+/// Parse one JSON document (value + optional trailing whitespace). Throws
+/// std::runtime_error with a byte offset on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace ctesim::trace::json

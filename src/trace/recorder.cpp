@@ -1,0 +1,103 @@
+#include "trace/recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace ctesim::trace {
+
+std::string label(Track track) {
+  switch (track.kind) {
+    case TrackKind::kGlobal:
+      return "sim";
+    case TrackKind::kRank:
+      return "rank " + std::to_string(track.index);
+    case TrackKind::kNode:
+      return "node " + std::to_string(track.index);
+    case TrackKind::kJob:
+      return "job " + std::to_string(track.index);
+  }
+  return "?";
+}
+
+void Recorder::span(Track track, const char* category, std::string name,
+                    std::string detail, sim::Time start, sim::Time end,
+                    std::uint64_t bytes, int peer) {
+  if (!enabled_) return;
+  CTESIM_EXPECTS(end >= start);
+  spans_.push_back(Span{track, category, std::move(name), std::move(detail),
+                        start, end, bytes, peer});
+}
+
+void Recorder::begin(Track track, const char* category, std::string name,
+                     std::string detail, sim::Time t) {
+  if (!enabled_) return;
+  open_[track].push_back(
+      Span{track, category, std::move(name), std::move(detail), t, t, 0, -1});
+}
+
+void Recorder::end(Track track, sim::Time t) {
+  if (!enabled_) return;
+  auto it = open_.find(track);
+  CTESIM_EXPECTS(it != open_.end() && !it->second.empty());
+  Span span = std::move(it->second.back());
+  it->second.pop_back();
+  CTESIM_EXPECTS(t >= span.start);
+  span.end = t;
+  spans_.push_back(std::move(span));
+}
+
+int Recorder::open_depth(Track track) const {
+  auto it = open_.find(track);
+  return it == open_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+void Recorder::instant(Track track, const char* category, std::string name,
+                       std::string detail, sim::Time t) {
+  if (!enabled_) return;
+  instants_.push_back(
+      Instant{track, category, std::move(name), std::move(detail), t});
+}
+
+void Recorder::counter(Track track, const char* category, const char* name,
+                       sim::Time t, double value) {
+  if (!enabled_) return;
+  counters_.push_back(CounterSample{track, category, name, t, value});
+}
+
+std::vector<CounterSample> Recorder::counter_series(const char* name,
+                                                    Track track) const {
+  std::vector<CounterSample> series;
+  for (const CounterSample& s : counters_) {
+    if (s.track == track && std::strcmp(s.name, name) == 0) {
+      series.push_back(s);
+    }
+  }
+  return series;
+}
+
+std::vector<Track> Recorder::tracks() const {
+  std::vector<Track> all;
+  for (const Span& s : spans_) all.push_back(s.track);
+  for (const Instant& i : instants_) all.push_back(i.track);
+  for (const CounterSample& c : counters_) all.push_back(c.track);
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+void Recorder::write_counters_csv(const std::string& path) const {
+  CsvWriter csv(path, {"time_s", "track", "category", "name", "value"});
+  char buf[32];
+  for (const CounterSample& s : counters_) {
+    std::snprintf(buf, sizeof(buf), "%.12g", s.value);
+    csv.row(std::vector<std::string>{std::to_string(sim::to_seconds(s.time)),
+                                     label(s.track), s.category, s.name,
+                                     buf});
+  }
+}
+
+}  // namespace ctesim::trace

@@ -102,4 +102,12 @@ double percentile(std::vector<double> values, double q) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+double p95(std::vector<double> values) {
+  return percentile(std::move(values), 0.95);
+}
+
+double p99(std::vector<double> values) {
+  return percentile(std::move(values), 0.99);
+}
+
 }  // namespace ctesim

@@ -54,4 +54,8 @@ class Histogram {
 /// Exact percentile of a sample (q in [0,1], linear interpolation).
 double percentile(std::vector<double> values, double q);
 
+/// Convenience tail percentiles, as reported by the batch metrics.
+double p95(std::vector<double> values);
+double p99(std::vector<double> values);
+
 }  // namespace ctesim

@@ -4,16 +4,32 @@
 #include <sstream>
 
 #include "report/gantt.h"
+#include "util/check.h"
 
 namespace ctesim::report {
 namespace {
 
-std::vector<mpi::TraceRecord> sample_trace() {
+trace::Span span(int rank, double start_s, double end_s, const char* kind,
+                 std::string detail = "", std::uint64_t bytes = 0,
+                 int peer = -1) {
+  trace::Span s;
+  s.track = trace::Track::rank(rank);
+  s.category = "mpi";
+  s.name = kind;
+  s.detail = std::move(detail);
+  s.start = sim::from_seconds(start_s);
+  s.end = sim::from_seconds(end_s);
+  s.bytes = bytes;
+  s.peer = peer;
+  return s;
+}
+
+std::vector<trace::Span> sample_trace() {
   return {
-      {0, 0.0, 0.6, "compute", "k", 0, -1},
-      {0, 0.6, 0.7, "send", "", 100, 1},
-      {1, 0.0, 0.2, "compute", "k", 0, -1},
-      {1, 0.2, 1.0, "recv", "", 100, 0},
+      span(0, 0.0, 0.6, "compute", "k"),
+      span(0, 0.6, 0.7, "send", "", 100, 1),
+      span(1, 0.0, 0.2, "compute", "k"),
+      span(1, 0.2, 1.0, "recv", "", 100, 0),
   };
 }
 
@@ -40,7 +56,7 @@ TEST(Gantt, RendersOneLanePerRank) {
 }
 
 TEST(Gantt, EmptyTraceHandled) {
-  const Gantt gantt("empty", {}, 3, 40);
+  const Gantt gantt("empty", std::vector<trace::Span>{}, 3, 40);
   std::ostringstream os;
   gantt.print(os);
   EXPECT_NE(os.str().find("(empty trace)"), std::string::npos);
@@ -48,8 +64,32 @@ TEST(Gantt, EmptyTraceHandled) {
 }
 
 TEST(Gantt, RejectsBadRanks) {
-  std::vector<mpi::TraceRecord> bad{{5, 0.0, 1.0, "compute", "", 0, -1}};
+  std::vector<trace::Span> bad{span(5, 0.0, 1.0, "compute")};
   EXPECT_THROW(Gantt("x", bad, 2, 40), ContractError);
+}
+
+TEST(Gantt, IgnoresNonRankTracks) {
+  auto spans = sample_trace();
+  trace::Span global;
+  global.track = trace::Track::global();
+  global.category = "core";
+  global.name = "setup";
+  global.start = sim::from_seconds(0.0);
+  global.end = sim::from_seconds(5.0);  // would stretch the makespan
+  spans.push_back(global);
+  const Gantt gantt("filtered", spans, 2, 40);
+  EXPECT_DOUBLE_EQ(gantt.makespan(), 1.0);
+}
+
+TEST(Gantt, BuildsFromRecorder) {
+  trace::Recorder recorder;
+  for (const auto& s : sample_trace()) {
+    recorder.span(s.track, s.category, s.name.c_str(), s.detail, s.start,
+                  s.end, s.bytes, s.peer);
+  }
+  const Gantt gantt("rec", recorder, 2, 40);
+  EXPECT_DOUBLE_EQ(gantt.makespan(), 1.0);
+  EXPECT_NEAR(gantt.busy_fraction(0, "compute"), 0.6, 1e-12);
 }
 
 }  // namespace

@@ -201,14 +201,16 @@ TEST(Trace, RecordsComputeAndMessaging) {
       co_await r.recv(0);
     }
   });
+  ASSERT_NE(world.recorder(), nullptr);
   int computes = 0;
   int sends = 0;
   int recvs = 0;
-  for (const auto& rec : world.trace()) {
-    EXPECT_GE(rec.end_s, rec.start_s);
-    if (std::string(rec.kind) == "compute") ++computes;
-    if (std::string(rec.kind) == "send") ++sends;
-    if (std::string(rec.kind) == "recv") ++recvs;
+  for (const auto& rec : world.recorder()->spans()) {
+    EXPECT_GE(rec.end, rec.start);
+    EXPECT_EQ(rec.track.kind, trace::TrackKind::kRank);
+    if (rec.name == "compute") ++computes;
+    if (rec.name == "send") ++sends;
+    if (rec.name == "recv") ++recvs;
   }
   EXPECT_EQ(computes, 1);
   EXPECT_EQ(sends, 1);
@@ -248,7 +250,21 @@ TEST(Trace, DisabledByDefault) {
   world.run([&](Rank& r) -> sim::Task<> {
     co_await r.compute_seconds(1e-6);
   });
-  EXPECT_TRUE(world.trace().empty());
+  EXPECT_EQ(world.recorder(), nullptr);
+}
+
+TEST(Trace, ExternalRecorderIsUsed) {
+  trace::Recorder recorder;
+  WorldOptions options;
+  options.machine = arch::cte_arm();
+  options.recorder = &recorder;
+  World world(std::move(options),
+              Placement::per_node(arch::cte_arm().node, 2));
+  world.run([&](Rank& r) -> sim::Task<> {
+    co_await r.compute_seconds(1e-6);
+  });
+  EXPECT_EQ(world.recorder(), &recorder);
+  EXPECT_EQ(recorder.spans().size(), 2u);  // one compute span per rank
 }
 
 }  // namespace

@@ -1,0 +1,249 @@
+// Tests for the observability subsystem (src/trace/): span nesting,
+// counter monotonicity, deterministic (byte-identical) Chrome export and a
+// full JSON round-trip through the bundled parser.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "arch/configs.h"
+#include "batch/cluster.h"
+#include "batch/workload.h"
+#include "core/engine.h"
+#include "trace/chrome.h"
+#include "trace/json.h"
+#include "trace/recorder.h"
+#include "util/check.h"
+
+namespace ctesim::trace {
+namespace {
+
+TEST(Track, OrderingAndLabels) {
+  EXPECT_EQ(Track::global(), Track::global());
+  EXPECT_LT(Track::global(), Track::rank(0));
+  EXPECT_LT(Track::rank(3), Track::rank(4));
+  EXPECT_LT(Track::rank(99), Track::node(0));
+  EXPECT_LT(Track::node(5), Track::job(0));
+  EXPECT_EQ(label(Track::global()), "sim");
+  EXPECT_EQ(label(Track::rank(3)), "rank 3");
+  EXPECT_EQ(label(Track::node(7)), "node 7");
+  EXPECT_EQ(label(Track::job(12)), "job 12");
+}
+
+TEST(Recorder, SpanNestingClosesInnermostFirst) {
+  Recorder rec;
+  const Track t = Track::job(1);
+  rec.begin(t, "batch", "outer", "", sim::from_seconds(0.0));
+  EXPECT_EQ(rec.open_depth(t), 1);
+  rec.begin(t, "batch", "inner", "", sim::from_seconds(1.0));
+  EXPECT_EQ(rec.open_depth(t), 2);
+  rec.end(t, sim::from_seconds(2.0));
+  rec.end(t, sim::from_seconds(3.0));
+  EXPECT_EQ(rec.open_depth(t), 0);
+  ASSERT_EQ(rec.spans().size(), 2u);
+  // Completion order: the inner span closed (and was emitted) first.
+  EXPECT_EQ(rec.spans()[0].name, "inner");
+  EXPECT_EQ(rec.spans()[1].name, "outer");
+  EXPECT_EQ(rec.spans()[0].start, sim::from_seconds(1.0));
+  EXPECT_EQ(rec.spans()[0].end, sim::from_seconds(2.0));
+  EXPECT_EQ(rec.spans()[1].end, sim::from_seconds(3.0));
+}
+
+TEST(Recorder, MismatchedEndThrows) {
+  Recorder rec;
+  EXPECT_THROW(rec.end(Track::job(9), 100), ContractError);
+  rec.begin(Track::job(9), "batch", "run", "", 100);
+  // An end() earlier than the span's begin is a contract violation too.
+  EXPECT_THROW(rec.end(Track::job(9), 50), ContractError);
+}
+
+TEST(Recorder, DisabledRecordsNothingCheaply) {
+  Recorder rec(/*enabled=*/false);
+  rec.span(Track::rank(0), "mpi", "compute", "", 0, 100);
+  rec.begin(Track::job(0), "batch", "queued", "", 0);
+  rec.end(Track::job(0), 10);  // no-op, must not throw despite no begin
+  rec.instant(Track::global(), "core", "tick", "", 5);
+  rec.counter(Track::global(), "core", "x", 5, 1.0);
+  EXPECT_TRUE(rec.spans().empty());
+  EXPECT_TRUE(rec.instants().empty());
+  EXPECT_TRUE(rec.counters().empty());
+  EXPECT_TRUE(rec.tracks().empty());
+}
+
+TEST(Recorder, CounterSeriesFiltersByNameAndTrack) {
+  Recorder rec;
+  rec.counter(Track::global(), "batch", "queue_depth", 10, 3.0);
+  rec.counter(Track::global(), "batch", "busy_nodes", 10, 8.0);
+  rec.counter(Track::global(), "batch", "queue_depth", 20, 2.0);
+  rec.counter(Track::node(1), "batch", "queue_depth", 30, 99.0);
+  const auto series = rec.counter_series("queue_depth");
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].value, 3.0);
+  EXPECT_EQ(series[1].value, 2.0);
+  EXPECT_EQ(rec.counter_series("queue_depth", Track::node(1)).size(), 1u);
+}
+
+TEST(Engine, SamplesEventCounterMonotonically) {
+  Recorder rec;
+  sim::Engine engine;
+  engine.set_recorder(&rec, /*sample_interval=*/8);
+  for (int i = 0; i < 100; ++i) {
+    engine.schedule_in(i, [] {});
+  }
+  engine.run();
+  const auto series = rec.counter_series("events_processed");
+  ASSERT_GE(series.size(), 10u);  // 100 events / every 8th
+  double prev = 0.0;
+  sim::Time prev_t = -1;
+  for (const auto& sample : series) {
+    EXPECT_EQ(sample.category, std::string("core"));
+    EXPECT_GT(sample.value, prev);
+    EXPECT_GE(sample.time, prev_t);
+    prev = sample.value;
+    prev_t = sample.time;
+  }
+}
+
+TEST(Recorder, CountersCsvRoundTrip) {
+  Recorder rec;
+  rec.counter(Track::global(), "batch", "queue_depth", sim::from_seconds(1.5),
+              3.0);
+  rec.counter(Track::node(2), "net", "busy_links", sim::from_seconds(2.0),
+              7.0);
+  const std::string path = ::testing::TempDir() + "ctesim_counters.csv";
+  rec.write_counters_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time_s,track,category,name,value");
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find("queue_depth"), std::string::npos);
+  EXPECT_NE(line.find("sim"), std::string::npos);
+  std::getline(in, line);
+  EXPECT_NE(line.find("node 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Json, EscapeHandlesControlAndQuotes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  const auto v = json::parse(
+      R"({"a": [1, -2.5e2, true, null], "s": "x\né", "nested": {"k": 2}})");
+  ASSERT_TRUE(v.is_object());
+  const auto* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 4u);
+  EXPECT_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].number, -250.0);
+  EXPECT_TRUE(a->array[2].boolean);
+  EXPECT_EQ(a->array[3].type, json::Value::Type::kNull);
+  EXPECT_EQ(v.find("s")->string, "x\n\xc3\xa9");
+  EXPECT_EQ(v.find("nested")->find("k")->number, 2.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(json::parse("nul"), std::runtime_error);
+}
+
+// A small batch workload used by the export tests: real scheduler, real
+// placement, recorded end to end.
+batch::ClusterResult traced_cluster(Recorder* rec) {
+  const batch::RuntimeModel model(arch::cte_arm());
+  batch::WorkloadConfig config;
+  config.num_jobs = 24;
+  config.mean_interarrival_s = 20.0;
+  const auto jobs = batch::generate(config, model, 17);
+  batch::ClusterOptions options;
+  options.recorder = rec;
+  return batch::run_cluster(model, jobs, options);
+}
+
+TEST(Chrome, ExportIsByteIdenticalForIdenticalRuns) {
+  Recorder a;
+  Recorder b;
+  traced_cluster(&a);
+  traced_cluster(&b);
+  std::ostringstream oa;
+  std::ostringstream ob;
+  write_chrome_trace(a, oa);
+  write_chrome_trace(b, ob);
+  EXPECT_FALSE(oa.str().empty());
+  EXPECT_EQ(oa.str(), ob.str());
+}
+
+TEST(Chrome, ExportRoundTripsThroughJsonParser) {
+  Recorder rec;
+  traced_cluster(&rec);
+  std::ostringstream os;
+  write_chrome_trace(rec, os);
+  const auto doc = json::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  int spans = 0;
+  int counters = 0;
+  int metadata = 0;
+  for (const auto& ev : events->array) {
+    ASSERT_TRUE(ev.is_object());
+    const auto* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "X") {
+      ++spans;
+      EXPECT_EQ(ev.find("cat")->string, "batch");
+      EXPECT_GE(ev.find("dur")->number, 0.0);
+    } else if (ph->string == "C") {
+      ++counters;
+    } else if (ph->string == "M") {
+      ++metadata;
+    }
+  }
+  // Every job contributes a "queued" and a "run" span; counters sample the
+  // machine state at every scheduling event.
+  EXPECT_GE(spans, 2 * 24);
+  EXPECT_GT(counters, 0);
+  EXPECT_GT(metadata, 0);
+  // The counters include the lanes the bench acceptance criteria name.
+  EXPECT_FALSE(rec.counter_series("utilization").empty());
+  EXPECT_FALSE(rec.counter_series("queue_depth").empty());
+  EXPECT_FALSE(rec.counter_series("busy_nodes").empty());
+}
+
+TEST(Chrome, JobLifecycleSpansMatchRecords) {
+  Recorder rec;
+  const auto result = traced_cluster(&rec);
+  int runs = 0;
+  for (const auto& span : rec.spans()) {
+    if (span.name != "run") continue;
+    ++runs;
+    ASSERT_EQ(span.track.kind, TrackKind::kJob);
+    const auto& record = result.records[span.track.index];
+    EXPECT_NEAR(sim::to_seconds(span.start), record.start_s, 1e-9);
+    EXPECT_NEAR(sim::to_seconds(span.end), record.end_s, 1e-9);
+  }
+  EXPECT_EQ(runs, static_cast<int>(result.records.size()));
+}
+
+TEST(Chrome, WriteToUnopenablePathThrows) {
+  Recorder rec;
+  EXPECT_THROW(write_chrome_trace(rec, "/nonexistent-dir/trace.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ctesim::trace
