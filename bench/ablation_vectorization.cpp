@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   auto sig = roofline::kernels::fem_assembly();
   sig.flops_per_elem = 28000.0;  // the Alya proxy's element cost
   sig.bytes_per_elem = 1400.0;
-  const double mn4_time = mn4_model.time(sig, 1e6, 48);
+  const double mn4_time = mn4_model.time(sig, 1e6, 48).value();
 
   report::Table table(
       "Alya-assembly kernel, 1M elements on one node of CTE-Arm",

@@ -34,8 +34,9 @@ constexpr Variant kVariants[] = {
 };
 
 double peak(const arch::CoreModel& core, const Variant& v) {
-  return v.vector ? core.peak_vector_flops(v.precision)
-                  : core.peak_scalar_flops();
+  return (v.vector ? core.peak_vector_flops(v.precision)
+                   : core.peak_scalar_flops())
+      .value();
 }
 
 }  // namespace

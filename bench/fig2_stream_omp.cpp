@@ -51,14 +51,18 @@ int main(int argc, char** argv) {
                                            "mn4_c", "mn4_f"});
   }
   for (int t : {1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48}) {
-    const double a =
-        cte.omp_bandwidth(mem::StreamKernel::kTriad, t, arch::Language::kC);
+    const double a = cte.omp_bandwidth(mem::StreamKernel::kTriad, t,
+                                       arch::Language::kC)
+                         .value();
     const double b = cte.omp_bandwidth(mem::StreamKernel::kTriad, t,
-                                       arch::Language::kFortran);
-    const double c =
-        mn4.omp_bandwidth(mem::StreamKernel::kTriad, t, arch::Language::kC);
+                                       arch::Language::kFortran)
+                         .value();
+    const double c = mn4.omp_bandwidth(mem::StreamKernel::kTriad, t,
+                                       arch::Language::kC)
+                         .value();
     const double d = mn4.omp_bandwidth(mem::StreamKernel::kTriad, t,
-                                       arch::Language::kFortran);
+                                       arch::Language::kFortran)
+                         .value();
     table.row(std::to_string(t),
               {a / 1e9, b / 1e9, c / 1e9, d / 1e9}, 1);
     threads.push_back(t);
@@ -87,9 +91,11 @@ int main(int argc, char** argv) {
                  mem::StreamKernel::kAdd, mem::StreamKernel::kTriad}) {
     kernels_table.row(
         {mem::name_of(k),
-         report::fixed(cte.omp_bandwidth(k, 24, arch::Language::kC) / 1e9, 1),
-         report::fixed(mn4.omp_bandwidth(k, 48, arch::Language::kC) / 1e9,
-                       1)});
+         report::fixed(
+             units::to_gbs(cte.omp_bandwidth(k, 24, arch::Language::kC)), 1),
+         report::fixed(
+             units::to_gbs(mn4.omp_bandwidth(k, 48, arch::Language::kC)),
+             1)});
   }
   std::printf("\n");
   kernels_table.print(std::cout);
@@ -98,20 +104,22 @@ int main(int argc, char** argv) {
   double cte_best = 0.0;
   int cte_best_threads = 0;
   for (int t = 1; t <= 48; ++t) {
-    const double bw =
-        cte.omp_bandwidth(mem::StreamKernel::kTriad, t, arch::Language::kC);
+    const double bw = cte.omp_bandwidth(mem::StreamKernel::kTriad, t,
+                                        arch::Language::kC)
+                          .value();
     if (bw > cte_best) {
       cte_best = bw;
       cte_best_threads = t;
     }
   }
   const double mn4_best =
-      mn4.omp_bandwidth(mem::StreamKernel::kTriad, 48, arch::Language::kC);
+      mn4.omp_bandwidth(mem::StreamKernel::kTriad, 48, arch::Language::kC)
+          .value();
   std::printf(
       "\nheadline: CTE-Arm best %.1f GB/s at %d threads (%.0f%% of peak, "
       "paper: 292.0 at 24, 29%%)\n",
       cte_best / 1e9, cte_best_threads,
-      100.0 * cte_best / arch::cte_arm().node.peak_bw());
+      100.0 * cte_best / arch::cte_arm().node.peak_bw().value());
   std::printf(
       "          MN4 best %.1f GB/s at 48 threads (paper: 201.2 at 48)\n",
       mn4_best / 1e9);

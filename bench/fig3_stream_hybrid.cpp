@@ -32,9 +32,11 @@ int main(int argc, char** argv) {
   auto emit = [&](const mem::StreamSimulator& sim, const char* name,
                   int procs, int threads) {
     const double c = sim.hybrid_bandwidth(mem::StreamKernel::kTriad, procs,
-                                          threads, arch::Language::kC);
+                                          threads, arch::Language::kC)
+                         .value();
     const double f = sim.hybrid_bandwidth(mem::StreamKernel::kTriad, procs,
-                                          threads, arch::Language::kFortran);
+                                          threads, arch::Language::kFortran)
+                         .value();
     char layout[32];
     std::snprintf(layout, sizeof(layout), "%dx%d", procs, threads);
     table.row({name, layout, report::fixed(c / 1e9, 1),
@@ -50,14 +52,16 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   const double best = cte.hybrid_bandwidth(mem::StreamKernel::kTriad, 4, 12,
-                                           arch::Language::kFortran);
-  const double best_c = cte.hybrid_bandwidth(mem::StreamKernel::kTriad, 4, 12,
-                                             arch::Language::kC);
+                                           arch::Language::kFortran)
+                          .value();
+  const double best_c = cte.hybrid_bandwidth(mem::StreamKernel::kTriad, 4,
+                                             12, arch::Language::kC)
+                            .value();
   std::printf(
       "\nheadline: CTE-Arm Fortran 4x12 = %.1f GB/s (%.0f%% of peak; paper "
       "862.6, 84%%)\n          CTE-Arm C 4x12 = %.1f GB/s (paper 421.1, "
       "unexplained in the paper)\n",
-      best / 1e9, 100.0 * best / arch::cte_arm().node.peak_bw(),
+      best / 1e9, 100.0 * best / arch::cte_arm().node.peak_bw().value(),
       best_c / 1e9);
   return 0;
 }

@@ -45,15 +45,15 @@ int main(int argc, char** argv) {
   row("Core / node", std::to_string(cte.node.core_count()),
       std::to_string(mn4.node.core_count()));
   row("DP Peak / core [GFlop/s]",
-      report::fixed(cte.node.core.peak_vector_flops(arch::Precision::kDouble) /
-                        1e9,
+      report::fixed(units::to_gflops(cte.node.core.peak_vector_flops(
+                        arch::Precision::kDouble)),
                     2),
-      report::fixed(mn4.node.core.peak_vector_flops(arch::Precision::kDouble) /
-                        1e9,
+      report::fixed(units::to_gflops(mn4.node.core.peak_vector_flops(
+                        arch::Precision::kDouble)),
                     2));
   row("DP Peak / node [GFlop/s]",
-      report::fixed(cte.node.peak_flops() / 1e9, 2),
-      report::fixed(mn4.node.peak_flops() / 1e9, 2));
+      report::fixed(units::to_gflops(cte.node.peak_flops()), 2),
+      report::fixed(units::to_gflops(mn4.node.peak_flops()), 2));
   row("L1 cache / core [kB]", std::to_string(cte.node.core.l1d_kb),
       std::to_string(mn4.node.core.l1d_kb));
   row("L2 cache / node [MB]", report::fixed(cte.node.l2_total_mb, 0),
@@ -66,8 +66,8 @@ int main(int argc, char** argv) {
   row("Memory tech.", cte.memory_tech, mn4.memory_tech);
   row("NUMA domains / node", std::to_string(cte.node.num_domains),
       std::to_string(mn4.node.num_domains));
-  row("Peak memory BW [GB/s]", report::fixed(cte.node.peak_bw() / 1e9, 0),
-      report::fixed(mn4.node.peak_bw() / 1e9, 0));
+  row("Peak memory BW [GB/s]", report::fixed(cte.node.peak_bw().value() / 1e9, 0),
+      report::fixed(mn4.node.peak_bw().value() / 1e9, 0));
   row("Num. of nodes", std::to_string(cte.num_nodes),
       std::to_string(mn4.num_nodes));
   row("Interconnection", cte.interconnect.name, mn4.interconnect.name);

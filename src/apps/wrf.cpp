@@ -37,8 +37,10 @@ WrfResult run_wrf(const arch::MachineModel& machine, int nodes,
                                             machine.node.core_count()));
 
   const int nranks = world.num_ranks();
-  const double mpi_overhead = config.mpi_overhead_per_message * 8.0e9 /
-                              machine.node.core.effective_scalar_flops();
+  const double mpi_overhead =
+      (units::Flops{config.mpi_overhead_per_message * 8.0e9} /
+       machine.node.core.effective_scalar_flops())
+          .value();
   int px = 1;
   int py = 1;
   choose_grid2d(nranks, &px, &py);

@@ -3,10 +3,14 @@
 // Every constant is tied to a number reported in the paper (figure/table in
 // the comment). Values marked "est." are read off a figure rather than
 // stated in the text. EXPERIMENTS.md records how well the calibrated model
-// reproduces each experiment.
+// reproduces each experiment. Dimensioned constants carry their unit in
+// the type (units::BytesPerSec, units::Seconds — see util/units.h);
+// dimensionless factors and efficiencies stay raw doubles.
 #pragma once
 
 #include <cstddef>
+
+#include "util/units.h"
 
 namespace ctesim::arch::calib {
 
@@ -16,17 +20,17 @@ inline constexpr double kFpuKernelEfficiency = 0.995;
 
 // ------------------------------------------------------------ Fig. 2 / 3 --
 // CTE-Arm (A64FX): per-CMG HBM module.
-inline constexpr double kA64fxCmgPeakBw = 256.0e9;  // 1024 GB/s / 4 CMGs
+inline constexpr units::BytesPerSec kA64fxCmgPeakBw{256.0e9};  // 1024 GB/s / 4 CMGs
 // Hybrid Fortran STREAM Triad reaches 862.6 GB/s = 84% of peak (Fig. 3).
 inline constexpr double kA64fxCmgEffCeiling = 862.6 / 1024.0;
 // One well-pinned streaming thread (Fujitsu compiler, zfill+prefetch flags
 // of Table II); 862.6/48 = 18.0 GB/s sustained => headroom above that.
-inline constexpr double kA64fxThreadBw = 19.0e9;
+inline constexpr units::BytesPerSec kA64fxThreadBw{19.0e9};
 // OpenMP-only (one process, spread binding) saturates at 292.0 GB/s with 24
 // threads = 29% of peak (Fig. 2): cross-CMG traffic rides the ring bus.
-inline constexpr double kA64fxSingleProcessCap = 292.0e9;
+inline constexpr units::BytesPerSec kA64fxSingleProcessCap{292.0e9};
 // Per-thread rate in the spread/first-touch regime: cap/24 threads.
-inline constexpr double kA64fxSpreadThreadBw = 292.0e9 / 24.0;
+inline constexpr units::BytesPerSec kA64fxSpreadThreadBw{292.0e9 / 24.0};
 // Slight decline beyond saturation (Fig. 2 shows a mild droop to 48 thr).
 inline constexpr double kA64fxContentionDecay = 0.002;
 // STREAM language factors (paper: C ~10% faster than Fortran with OpenMP;
@@ -35,10 +39,10 @@ inline constexpr double kA64fxStreamOmpFortranFactor = 1.0 / 1.10;
 inline constexpr double kA64fxStreamHybridCFactor = 421.1 / 862.6;
 
 // MareNostrum 4 (Skylake 8160): per-socket 6×DDR4-2666.
-inline constexpr double kSkxSocketPeakBw = 128.0e9;  // 256 GB/s / 2 sockets
+inline constexpr units::BytesPerSec kSkxSocketPeakBw{128.0e9};  // 256 GB/s / 2 sockets
 // Best OpenMP result 201.2 GB/s = 66% of 256 with 48 threads (Fig. 2).
 inline constexpr double kSkxSocketEffCeiling = 201.2 / 256.0;
-inline constexpr double kSkxThreadBw = 8.4e9;  // saturates ~12 thr/socket
+inline constexpr units::BytesPerSec kSkxThreadBw{8.4e9};  // saturates ~12 thr/socket
 inline constexpr double kSkxContentionDecay = 0.0;  // flat plateau (Fig. 2)
 // C vs Fortran indistinguishable on MN4 (Fig. 2, blue curves overlap).
 inline constexpr double kSkxStreamOmpFortranFactor = 1.0;
@@ -46,12 +50,12 @@ inline constexpr double kSkxStreamHybridCFactor = 1.0;
 
 // -------------------------------------------------------------- Fig. 4/5 --
 // TofuD (values from Ajima et al. [7] + calibration to Fig. 5 shape).
-inline constexpr double kTofuLinkBw = 6.8e9;        // Table I peak
+inline constexpr units::BytesPerSec kTofuLinkBw{6.8e9};  // Table I peak
 inline constexpr double kTofuEffBwFactor = 0.92;    // est. large-msg plateau
-inline constexpr double kTofuBaseLatency = 0.70e-6;
-inline constexpr double kTofuPerHopLatency = 0.10e-6;
+inline constexpr units::Seconds kTofuBaseLatency = units::microseconds(0.70);
+inline constexpr units::Seconds kTofuPerHopLatency = units::microseconds(0.10);
 inline constexpr std::size_t kTofuEagerThreshold = 32 * 1024;
-inline constexpr double kTofuRendezvousLatency = 1.8e-6;
+inline constexpr units::Seconds kTofuRendezvousLatency = units::microseconds(1.8);
 inline constexpr double kTofuHopBwPenalty = 0.012;  // est. >1MB spread, Fig. 5
 // Rack-spanning X-dimension links (longer cables, shared trunks): per-hop
 // bandwidth loss that groups pairs by X-distance — the bimodal mid-size
@@ -62,19 +66,19 @@ inline constexpr int kWeakNodeIndex = 131;
 inline constexpr double kWeakNodeRecvFactor = 0.18;  // est. from heatmap
 
 // OmniPath on MN4.
-inline constexpr double kOpaLinkBw = 12.0e9;  // Table I peak
+inline constexpr units::BytesPerSec kOpaLinkBw{12.0e9};  // Table I peak
 inline constexpr double kOpaEffBwFactor = 0.91;
-inline constexpr double kOpaBaseLatency = 1.00e-6;
-inline constexpr double kOpaPerHopLatency = 0.15e-6;
+inline constexpr units::Seconds kOpaBaseLatency = units::microseconds(1.00);
+inline constexpr units::Seconds kOpaPerHopLatency = units::microseconds(0.15);
 inline constexpr std::size_t kOpaEagerThreshold = 16 * 1024;
-inline constexpr double kOpaRendezvousLatency = 2.2e-6;
+inline constexpr units::Seconds kOpaRendezvousLatency = units::microseconds(2.2);
 inline constexpr double kOpaHopBwPenalty = 0.01;
 inline constexpr int kOpaNodesPerEdgeSwitch = 32;
 
 // Intra-node shared-memory MPI transport (both systems, typical values).
-inline constexpr double kA64fxShmBw = 40.0e9;
-inline constexpr double kSkxShmBw = 50.0e9;
-inline constexpr double kShmLatency = 0.30e-6;
+inline constexpr units::BytesPerSec kA64fxShmBw{40.0e9};
+inline constexpr units::BytesPerSec kSkxShmBw{50.0e9};
+inline constexpr units::Seconds kShmLatency = units::microseconds(0.30);
 
 // ----------------------------------------------------------- OoO scalar ---
 // The paper attributes the 2-4x application slowdown to "the weaker

@@ -1,6 +1,7 @@
 #include "arch/configs.h"
 
 #include "arch/calibration.h"
+#include "arch/validate.h"
 
 namespace ctesim::arch {
 
@@ -28,17 +29,17 @@ MachineModel cte_arm() {
   m.node.domain = MemoryDomainModel{
       .cores = 12,  // one Core Memory Group
       .capacity_gb = 8.0,
-      .peak_bw = calib::kA64fxCmgPeakBw,
+      .peak_bw = calib::kA64fxCmgPeakBw.value(),
       .eff_ceiling = calib::kA64fxCmgEffCeiling,
-      .single_thread_bw = calib::kA64fxThreadBw,
+      .single_thread_bw = calib::kA64fxThreadBw.value(),
       .contention_decay = calib::kA64fxContentionDecay,
   };
   m.node.num_domains = 4;
   m.node.sockets = 1;
-  m.node.single_process_bw_cap = calib::kA64fxSingleProcessCap;
-  m.node.sp_thread_bw = calib::kA64fxSpreadThreadBw;
-  m.node.shm_bw = calib::kA64fxShmBw;
-  m.node.shm_latency = calib::kShmLatency;
+  m.node.single_process_bw_cap = calib::kA64fxSingleProcessCap.value();
+  m.node.sp_thread_bw = calib::kA64fxSpreadThreadBw.value();
+  m.node.shm_bw = calib::kA64fxShmBw.value();
+  m.node.shm_latency = calib::kShmLatency.value();
   m.node.l2_total_mb = 32.0;  // 8 MB per CMG, no L3
   m.node.l3_total_mb = 0.0;
 
@@ -49,15 +50,16 @@ MachineModel cte_arm() {
       // 6D torus X,Y,Z,a,b,c; the (a,b,c)=(2,3,2) unit group is fixed in
       // TofuD hardware; 4*2*2 unit groups give the 192 nodes of CTE-Arm.
       .dims = {4, 2, 2, 2, 3, 2},
-      .link_bw = calib::kTofuLinkBw,
+      .link_bw = calib::kTofuLinkBw.value(),
       .eff_bw_factor = calib::kTofuEffBwFactor,
-      .base_latency_s = calib::kTofuBaseLatency,
-      .per_hop_latency_s = calib::kTofuPerHopLatency,
+      .base_latency_s = calib::kTofuBaseLatency.value(),
+      .per_hop_latency_s = calib::kTofuPerHopLatency.value(),
       .eager_threshold = calib::kTofuEagerThreshold,
-      .rendezvous_latency_s = calib::kTofuRendezvousLatency,
+      .rendezvous_latency_s = calib::kTofuRendezvousLatency.value(),
       .hop_bw_penalty = calib::kTofuHopBwPenalty,
       .long_dim_bw_penalty = calib::kTofuLongDimBwPenalty,
   };
+  validate_or_throw(m);
   return m;
 }
 
@@ -85,17 +87,17 @@ MachineModel marenostrum4() {
   m.node.domain = MemoryDomainModel{
       .cores = 24,  // one Skylake socket
       .capacity_gb = 48.0,
-      .peak_bw = calib::kSkxSocketPeakBw,
+      .peak_bw = calib::kSkxSocketPeakBw.value(),
       .eff_ceiling = calib::kSkxSocketEffCeiling,
-      .single_thread_bw = calib::kSkxThreadBw,
+      .single_thread_bw = calib::kSkxThreadBw.value(),
       .contention_decay = calib::kSkxContentionDecay,
   };
   m.node.num_domains = 2;
   m.node.sockets = 2;
   m.node.single_process_bw_cap = 0.0;  // UPI does not bottleneck STREAM
-  m.node.sp_thread_bw = calib::kSkxThreadBw;
-  m.node.shm_bw = calib::kSkxShmBw;
-  m.node.shm_latency = calib::kShmLatency;
+  m.node.sp_thread_bw = calib::kSkxThreadBw.value();
+  m.node.shm_bw = calib::kSkxShmBw.value();
+  m.node.shm_latency = calib::kShmLatency.value();
   m.node.l2_total_mb = 48.0;  // 1 MB per core
   m.node.l3_total_mb = 66.0;  // 33 MB per socket
 
@@ -104,14 +106,15 @@ MachineModel marenostrum4() {
       .name = "Intel OmniPath",
       .kind = InterconnectSpec::Kind::kFatTree,
       .dims = {},
-      .link_bw = calib::kOpaLinkBw,
+      .link_bw = calib::kOpaLinkBw.value(),
       .eff_bw_factor = calib::kOpaEffBwFactor,
-      .base_latency_s = calib::kOpaBaseLatency,
-      .per_hop_latency_s = calib::kOpaPerHopLatency,
+      .base_latency_s = calib::kOpaBaseLatency.value(),
+      .per_hop_latency_s = calib::kOpaPerHopLatency.value(),
       .eager_threshold = calib::kOpaEagerThreshold,
-      .rendezvous_latency_s = calib::kOpaRendezvousLatency,
+      .rendezvous_latency_s = calib::kOpaRendezvousLatency.value(),
       .hop_bw_penalty = calib::kOpaHopBwPenalty,
   };
+  validate_or_throw(m);
   return m;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "util/check.h"
+#include "util/units.h"
 
 namespace ctesim::arch {
 
@@ -55,28 +56,29 @@ struct CoreModel {
   double ooo_scalar_efficiency = 1.0;
   int l1d_kb = 0;  ///< L1 data cache per core (Table I)
 
-  /// Vector-unit peak, FLOP/s for one core: P_v = s * i * f * o (paper
+  /// Vector-unit peak for one core: P_v = s * i * f * o (paper
   /// Section III-A). Half precision on machines without native FP16 vectors
   /// falls back to the single-precision rate (elements are widened).
-  double peak_vector_flops(Precision p) const {
+  units::FlopsPerSec peak_vector_flops(Precision p) const {
     CTESIM_EXPECTS(freq_ghz > 0.0 && vector_bits > 0);
     const Precision effective =
         (p == Precision::kHalf && !fp16_vector) ? Precision::kSingle : p;
     const double lanes =
         static_cast<double>(vector_bits) / bits_of(effective);
-    return lanes * fma_pipes * flops_per_fma * freq_ghz * 1e9;
+    return units::FlopsPerSec{lanes * fma_pipes * flops_per_fma * freq_ghz *
+                              1e9};
   }
 
-  /// Scalar-pipe peak, FLOP/s for one core (precision-independent: scalar
-  /// FMA units retire one element per op regardless of width).
-  double peak_scalar_flops() const {
+  /// Scalar-pipe peak for one core (precision-independent: scalar FMA
+  /// units retire one element per op regardless of width).
+  units::FlopsPerSec peak_scalar_flops() const {
     CTESIM_EXPECTS(freq_ghz > 0.0);
-    return static_cast<double>(scalar_fma_per_cycle) * flops_per_fma *
-           freq_ghz * 1e9;
+    return units::FlopsPerSec{static_cast<double>(scalar_fma_per_cycle) *
+                              flops_per_fma * freq_ghz * 1e9};
   }
 
   /// Scalar throughput achieved on real application code.
-  double effective_scalar_flops() const {
+  units::FlopsPerSec effective_scalar_flops() const {
     return peak_scalar_flops() * ooo_scalar_efficiency;
   }
 };

@@ -44,7 +44,7 @@ struct MachineModel {
   int num_nodes = 0;
   InterconnectSpec interconnect;
 
-  double peak_flops_total(Precision p = Precision::kDouble) const {
+  units::FlopsPerSec peak_flops_total(Precision p = Precision::kDouble) const {
     return node.peak_flops(p) * num_nodes;
   }
 };

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "util/check.h"
+#include "util/units.h"
 
 namespace ctesim::arch {
 
@@ -19,23 +20,24 @@ struct MemoryDomainModel {
   /// (oversubscribed prefetch/queue contention); 0 = flat plateau.
   double contention_decay = 0.0;
 
-  /// Sustainable ceiling in bytes/s.
-  double ceiling_bw() const { return peak_bw * eff_ceiling; }
+  /// Sustainable bandwidth ceiling.
+  units::BytesPerSec ceiling_bw() const {
+    return units::BytesPerSec{peak_bw * eff_ceiling};
+  }
 
   /// Achieved STREAM-like bandwidth with `threads` threads local to this
   /// domain, all accessing local memory.
-  double achieved_bw(int threads) const {
+  units::BytesPerSec achieved_bw(int threads) const {
     CTESIM_EXPECTS(threads >= 0);
-    if (threads == 0) return 0.0;
-    const double linear = single_thread_bw * threads;
-    const double cap = ceiling_bw();
+    if (threads == 0) return units::BytesPerSec{0.0};
+    const units::BytesPerSec linear{single_thread_bw * threads};
+    const units::BytesPerSec cap = ceiling_bw();
     if (linear <= cap) return linear;
     // Past saturation: plateau with mild decay per extra thread.
-    const double sat_threads = cap / single_thread_bw;
+    const double sat_threads = cap.value() / single_thread_bw;
     const double extra = static_cast<double>(threads) - sat_threads;
-    double bw = cap;
-    bw *= 1.0 - contention_decay * extra;
-    return bw > 0.0 ? bw : 0.0;
+    const units::BytesPerSec bw = cap * (1.0 - contention_decay * extra);
+    return bw > units::BytesPerSec{0.0} ? bw : units::BytesPerSec{0.0};
   }
 };
 

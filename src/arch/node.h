@@ -33,27 +33,29 @@ struct NodeModel {
   double l2_total_mb = 0.0;  ///< L2 capacity per node
   double l3_total_mb = 0.0;  ///< L3 capacity per node (0 = none, as A64FX)
 
-  /// Last-level cache capacity per node, bytes — drives cache-reuse models
+  /// Last-level cache capacity per node — drives cache-reuse models
   /// (e.g. HPCG effective memory traffic).
-  double llc_bytes() const {
+  units::Bytes llc_bytes() const {
     const double mb = l3_total_mb > 0.0 ? l3_total_mb + l2_total_mb
                                         : l2_total_mb;
-    return mb * 1024.0 * 1024.0;
+    return units::Bytes{mb * 1024.0 * 1024.0};
   }
 
   int core_count() const { return domain.cores * num_domains; }
   double memory_gb() const { return domain.capacity_gb * num_domains; }
-  double peak_bw() const { return domain.peak_bw * num_domains; }
+  units::BytesPerSec peak_bw() const {
+    return units::BytesPerSec{domain.peak_bw * num_domains};
+  }
 
-  /// DP peak per node, FLOP/s (Table I row "DP Peak / node").
-  double peak_flops(Precision p = Precision::kDouble) const {
+  /// DP peak per node (Table I row "DP Peak / node").
+  units::FlopsPerSec peak_flops(Precision p = Precision::kDouble) const {
     return core.peak_vector_flops(p) * core_count();
   }
 
   /// Achieved bandwidth for `procs` processes × `threads_per_proc` threads,
   /// processes pinned one per domain (the hybrid MPI+OpenMP layout of
   /// Fig. 3). Unused domains contribute nothing.
-  double hybrid_bw(int procs, int threads_per_proc) const {
+  units::BytesPerSec hybrid_bw(int procs, int threads_per_proc) const {
     CTESIM_EXPECTS(procs >= 1 && procs <= num_domains);
     CTESIM_EXPECTS(threads_per_proc >= 1);
     CTESIM_EXPECTS(procs * threads_per_proc <= core_count());
@@ -62,31 +64,33 @@ struct NodeModel {
 
   /// Achieved bandwidth for one process with `threads` threads bound
   /// round-robin across domains ("spread", the Fig. 2 layout).
-  double single_process_bw(int threads) const {
+  units::BytesPerSec single_process_bw(int threads) const {
     CTESIM_EXPECTS(threads >= 1 && threads <= core_count());
     const double thread_bw =
         sp_thread_bw > 0.0 ? sp_thread_bw : domain.single_thread_bw;
-    const double cap = single_process_bw_cap > 0.0
-                           ? single_process_bw_cap
-                           : domain.ceiling_bw() * num_domains;
-    const double linear = thread_bw * threads;
+    const units::BytesPerSec cap =
+        single_process_bw_cap > 0.0
+            ? units::BytesPerSec{single_process_bw_cap}
+            : domain.ceiling_bw() * num_domains;
+    const units::BytesPerSec linear{thread_bw * threads};
     if (linear <= cap) return linear;
     // Past saturation: plateau with the domain's mild per-thread decay.
-    const double sat_threads = cap / thread_bw;
+    const double sat_threads = cap.value() / thread_bw;
     const double extra = static_cast<double>(threads) - sat_threads;
-    const double bw = cap * (1.0 - domain.contention_decay * extra);
-    return std::max(bw, 0.0);
+    const units::BytesPerSec bw =
+        cap * (1.0 - domain.contention_decay * extra);
+    return std::max(bw, units::BytesPerSec{0.0});
   }
 
   /// Best achievable node bandwidth for a well-placed workload using
   /// `cores_used` cores (one rank per domain or better). Used by the
   /// roofline model for memory-bound kernel timing.
-  double best_bw(int cores_used) const {
+  units::BytesPerSec best_bw(int cores_used) const {
     CTESIM_EXPECTS(cores_used >= 1 && cores_used <= core_count());
     const int per_domain = domain.cores;
     const int full = cores_used / per_domain;
     const int rest = cores_used % per_domain;
-    double bw = full * domain.achieved_bw(per_domain);
+    units::BytesPerSec bw = full * domain.achieved_bw(per_domain);
     if (rest > 0) bw += domain.achieved_bw(rest);
     return bw;
   }

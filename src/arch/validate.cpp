@@ -53,6 +53,14 @@ std::vector<std::string> validate(const MachineModel& m) {
   check(problems, m.node.shm_bw > 0.0, "memory.shm_bw_gbs: must be positive");
   check(problems, m.node.shm_latency >= 0.0,
         "memory.shm_latency_us: must be >= 0");
+  check(problems, m.node.single_process_bw_cap >= 0.0,
+        "memory.single_process_bw_cap_gbs: must be >= 0");
+  check(problems, m.node.sp_thread_bw >= 0.0,
+        "memory.sp_thread_bw_gbs: must be >= 0");
+  check(problems, m.node.l2_total_mb >= 0.0,
+        "cache.l2_total_mb: must be >= 0");
+  check(problems, m.node.l3_total_mb >= 0.0,
+        "cache.l3_total_mb: must be >= 0");
 
   const InterconnectSpec& ic = m.interconnect;
   check(problems, ic.link_bw > 0.0,
@@ -63,6 +71,8 @@ std::vector<std::string> validate(const MachineModel& m) {
         "interconnect.base_latency_us: must be >= 0");
   check(problems, ic.per_hop_latency_s >= 0.0,
         "interconnect.per_hop_latency_us: must be >= 0");
+  check(problems, ic.rendezvous_latency_s >= 0.0,
+        "interconnect.rendezvous_latency_us: must be >= 0");
   check(problems, ic.hop_bw_penalty >= 0.0 && ic.hop_bw_penalty < 1.0,
         "interconnect.hop_bw_penalty: must be in [0, 1)");
   check(problems,

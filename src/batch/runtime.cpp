@@ -27,11 +27,11 @@ double RuntimeModel::base_runtime(const Job& job) const {
   // work is independent of job size.
   const auto placement =
       mpi::Placement::per_node(machine_.node, job.nodes);
-  const double t_iter =
+  const units::Seconds t_iter =
       exec_.time(p.sig, p.elems_per_node, placement.slot(0).cores);
   // comm_fraction is the communication share at the compact reference, so
   // compute is the (1 - f) remainder of the total.
-  return p.iterations * t_iter / (1.0 - p.comm_fraction);
+  return (p.iterations * t_iter / (1.0 - p.comm_fraction)).value();
 }
 
 double RuntimeModel::reference_runtime(const Job& job) const {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "trace/recorder.h"
+#include "util/assert.h"
 #include "util/check.h"
 
 namespace ctesim::sim {
@@ -38,6 +39,9 @@ void Engine::set_recorder(trace::Recorder* recorder,
 }
 
 void Engine::dispatch(Event&& event) {
+  CTESIM_DCHECK(event.time >= now_,
+                "simulated time must be monotone: event scheduled in the "
+                "past reached the dispatcher");
   now_ = event.time;
   ++events_processed_;
   if (recorder_ && events_processed_ % sample_interval_ == 0) {

@@ -23,11 +23,11 @@ double HpcgModel::bytes_per_flop() const {
 
 double HpcgModel::node_gflops(HpcgBuild build) const {
   const bool a64fx = machine_.node.core.uarch == arch::MicroArch::kA64fx;
-  const double sustained_bw =
+  const units::BytesPerSec sustained_bw =
       machine_.node.best_bw(machine_.node.core_count());
   const double mem_eff =
       a64fx ? calib::kHpcgOptMemEffA64fx : calib::kHpcgOptMemEffSkx;
-  double gf = sustained_bw * mem_eff / bytes_per_flop() / 1e9;
+  double gf = sustained_bw.value() * mem_eff / bytes_per_flop() / 1e9;
   if (build == HpcgBuild::kVanilla) {
     gf *= a64fx ? calib::kHpcgVanillaFactorA64fx
                 : calib::kHpcgVanillaFactorSkx;
@@ -52,8 +52,8 @@ HpcgPoint HpcgModel::run(int nodes, HpcgBuild build) const {
   point.nodes = nodes;
   point.gflops_per_node = node_gflops(build) * scale;
   point.gflops = point.gflops_per_node * nodes;
-  point.peak_fraction =
-      point.gflops * 1e9 / (machine_.node.peak_flops() * nodes);
+  point.peak_fraction = units::FlopsPerSec{point.gflops * 1e9} /
+                        (machine_.node.peak_flops() * nodes);
   return point;
 }
 

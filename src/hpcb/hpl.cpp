@@ -67,9 +67,9 @@ HplPoint HplModel::run(int nodes) const {
 
   // Per-rank DGEMM rate: the vendor binary's sustained rate on the cores
   // this rank owns.
-  const double node_peak = machine_.node.peak_flops();
+  const units::FlopsPerSec node_peak = machine_.node.peak_flops();
   const double rank_rate =
-      node_peak * config_.dgemm_efficiency / config_.ranks_per_node;
+      node_peak.value() * config_.dgemm_efficiency / config_.ranks_per_node;
 
   // Effective link behaviour for the panel broadcast (use a representative
   // mid-distance pair; HPL maps process rows onto nearby nodes).
@@ -102,7 +102,8 @@ HplPoint HplModel::run(int nodes) const {
   point.time_s = compute_s + panel_s + (1.0 - config_.comm_overlap) * comm_s;
   const double flops = 2.0 / 3.0 * n * n * n + 1.5 * n * n;
   point.gflops = flops / point.time_s / 1e9;
-  point.efficiency = point.gflops * 1e9 / (node_peak * nodes);
+  point.efficiency =
+      units::FlopsPerSec{point.gflops * 1e9} / (node_peak * nodes);
   return point;
 }
 

@@ -33,7 +33,7 @@ HplSimResult run_hpl_sim(const arch::MachineModel& machine, int nodes,
   int p = 1;
   int q = 1;
   choose_grid(nranks, &p, &q);
-  const double rank_rate = machine.node.peak_flops() *
+  const double rank_rate = machine.node.peak_flops().value() *
                            config.dgemm_efficiency / config.ranks_per_node;
   const double nb = config.nb;
   const int total_steps = static_cast<int>(n / nb);

@@ -72,23 +72,23 @@ double StreamSimulator::language_factor(arch::Language language,
              : 1.0;
 }
 
-double StreamSimulator::omp_bandwidth(StreamKernel kernel, int threads,
-                                      arch::Language language) const {
+units::BytesPerSec StreamSimulator::omp_bandwidth(
+    StreamKernel kernel, int threads, arch::Language language) const {
   CTESIM_EXPECTS(threads >= 1 && threads <= machine_.node.core_count());
   return machine_.node.single_process_bw(threads) *
          language_factor(language, /*hybrid=*/false) * kernel_factor(kernel);
 }
 
-double StreamSimulator::hybrid_bandwidth(StreamKernel kernel, int procs,
-                                         int threads,
-                                         arch::Language language) const {
+units::BytesPerSec StreamSimulator::hybrid_bandwidth(
+    StreamKernel kernel, int procs, int threads,
+    arch::Language language) const {
   return machine_.node.hybrid_bw(procs, threads) *
          language_factor(language, /*hybrid=*/true) * kernel_factor(kernel);
 }
 
 std::size_t StreamSimulator::min_elements() const {
-  const double llc = machine_.node.llc_bytes();
-  const auto by_cache = static_cast<std::size_t>(4.0 * llc / 8.0);
+  const units::Bytes llc = machine_.node.llc_bytes();
+  const auto by_cache = static_cast<std::size_t>(4.0 * llc.value() / 8.0);
   return std::max<std::size_t>(10'000'000, by_cache);
 }
 

@@ -13,6 +13,7 @@
 
 #include "arch/compiler.h"
 #include "arch/machine.h"
+#include "util/units.h"
 
 namespace ctesim::mem {
 
@@ -29,14 +30,15 @@ class StreamSimulator {
   explicit StreamSimulator(const arch::MachineModel& machine);
 
   /// Fig. 2 setup: one process, `threads` OpenMP threads, spread binding.
-  /// Returns bytes/s as STREAM reports them.
-  double omp_bandwidth(StreamKernel kernel, int threads,
-                       arch::Language language) const;
+  /// Returns the bandwidth as STREAM reports it.
+  units::BytesPerSec omp_bandwidth(StreamKernel kernel, int threads,
+                                   arch::Language language) const;
 
   /// Fig. 3 setup: `procs` MPI ranks (one per NUMA domain) × `threads`
   /// OpenMP threads each.
-  double hybrid_bandwidth(StreamKernel kernel, int procs, int threads,
-                          arch::Language language) const;
+  units::BytesPerSec hybrid_bandwidth(StreamKernel kernel, int procs,
+                                      int threads,
+                                      arch::Language language) const;
 
   /// Minimum array length per the paper's sizing rule
   /// E >= max(1e7, 4*S/8) with S the last-level cache size in bytes.

@@ -11,8 +11,9 @@
 // current time of each injection and receives the arrival time back.
 #pragma once
 
+#include <compare>
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "core/time.h"
@@ -31,17 +32,10 @@ struct LinkId {
   std::int16_t dim = 0;
   std::int16_t dir = 0;  ///< +1 / -1
 
-  bool operator==(const LinkId&) const = default;
-};
-
-struct LinkIdHash {
-  std::size_t operator()(const LinkId& link) const {
-    return (static_cast<std::size_t>(static_cast<std::uint32_t>(link.node))
-            << 20) ^
-           (static_cast<std::size_t>(static_cast<std::uint16_t>(link.dim))
-            << 4) ^
-           static_cast<std::size_t>(link.dir + 1);
-  }
+  // Totally ordered so link state can live in deterministic ordered maps
+  // (iteration order must not depend on a hash seed — it feeds trace
+  // counters and, transitively, event ordering).
+  auto operator<=>(const LinkId&) const = default;
 };
 
 class CongestionModel {
@@ -69,7 +63,9 @@ class CongestionModel {
 
  private:
   const Network* network_;
-  std::unordered_map<LinkId, sim::Time, LinkIdHash> busy_until_;
+  // Ordered map: transfer_at iterates this to derive recorder counters, so
+  // the walk must be reproducible across runs and standard libraries.
+  std::map<LinkId, sim::Time> busy_until_;
   double queueing_s_ = 0.0;
   trace::Recorder* recorder_ = nullptr;
 };

@@ -12,8 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "arch/machine.h"
 #include "net/topology.h"
@@ -57,7 +57,9 @@ class Network {
 
   arch::InterconnectSpec spec_;
   std::unique_ptr<Topology> topology_;
-  std::unordered_map<int, double> recv_degradation_;
+  // Ordered by node id so any future walk over the fault set (reports,
+  // serialization) is deterministic.
+  std::map<int, double> recv_degradation_;
   double jitter_amplitude_ = 0.03;
 };
 

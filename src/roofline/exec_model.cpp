@@ -9,25 +9,28 @@ namespace ctesim::roofline {
 ExecModel::ExecModel(const arch::NodeModel& node, arch::CompilerModel compiler)
     : node_(node), compiler_(std::move(compiler)) {}
 
-double ExecModel::core_flop_rate(const KernelSig& sig) const {
+units::FlopsPerSec ExecModel::core_flop_rate(const KernelSig& sig) const {
   const arch::CoreModel& core = node_.core;
   const double vec =
       sig.vec_potential * compiler_.vectorization(sig.cls, core);
   CTESIM_ENSURES(vec >= 0.0 && vec <= 1.0);
-  const double vector_rate = core.peak_vector_flops(sig.precision);
-  const double scalar_rate =
+  const units::FlopsPerSec vector_rate = core.peak_vector_flops(sig.precision);
+  const units::FlopsPerSec scalar_rate =
       core.effective_scalar_flops() * compiler_.scalar_quality(sig.cls, core);
-  CTESIM_EXPECTS(vector_rate > 0.0 && scalar_rate > 0.0);
+  CTESIM_EXPECTS(vector_rate.value() > 0.0 && scalar_rate.value() > 0.0);
   // Harmonic blend: vec of the work at vector rate, rest at scalar rate.
-  return 1.0 / (vec / vector_rate + (1.0 - vec) / scalar_rate);
+  return units::FlopsPerSec{
+      1.0 / (vec / vector_rate.value() + (1.0 - vec) / scalar_rate.value())};
 }
 
-double ExecModel::memory_bw(const KernelSig& sig, int cores) const {
+units::BytesPerSec ExecModel::memory_bw(const KernelSig& sig,
+                                        int cores) const {
   return node_.best_bw(cores) * compiler_.mem_efficiency(sig.cls, node_.core);
 }
 
-double ExecModel::time(const KernelSig& sig, double elems, int cores) const {
-  return analyze(sig, elems, cores).total_s;
+units::Seconds ExecModel::time(const KernelSig& sig, double elems,
+                               int cores) const {
+  return units::Seconds{analyze(sig, elems, cores).total_s};
 }
 
 Breakdown ExecModel::analyze(const KernelSig& sig, double elems,
@@ -37,23 +40,26 @@ Breakdown ExecModel::analyze(const KernelSig& sig, double elems,
 }
 
 Breakdown ExecModel::analyze_shared(const KernelSig& sig, double elems,
-                                    int cores, double raw_bw_share) const {
+                                    int cores,
+                                    units::BytesPerSec raw_bw_share) const {
   CTESIM_EXPECTS(elems >= 0.0);
   CTESIM_EXPECTS(cores >= 1 && cores <= node_.core_count());
-  CTESIM_EXPECTS(raw_bw_share > 0.0);
+  CTESIM_EXPECTS(raw_bw_share.value() > 0.0);
   Breakdown b;
-  const double flops = elems * sig.flops_per_elem;
-  const double bytes = elems * sig.bytes_per_elem;
+  const units::Flops flops{elems * sig.flops_per_elem};
+  const units::Bytes bytes{elems * sig.bytes_per_elem};
   b.achieved_vectorization =
       sig.vec_potential * compiler_.vectorization(sig.cls, node_.core);
-  const double bw =
+  const units::BytesPerSec bw =
       raw_bw_share * compiler_.mem_efficiency(sig.cls, node_.core);
-  b.compute_s = flops > 0.0 ? flops / (core_flop_rate(sig) * cores) : 0.0;
-  b.memory_s = bytes > 0.0 ? bytes / bw : 0.0;
+  b.compute_s = flops.value() > 0.0
+                    ? (flops / (core_flop_rate(sig) * cores)).value()
+                    : 0.0;
+  b.memory_s = bytes.value() > 0.0 ? (bytes / bw).value() : 0.0;
   const double hi = std::max(b.compute_s, b.memory_s);
   const double lo = std::min(b.compute_s, b.memory_s);
   b.total_s = hi + (1.0 - sig.overlap) * lo;
-  b.achieved_flops = b.total_s > 0.0 ? flops / b.total_s : 0.0;
+  b.achieved_flops = b.total_s > 0.0 ? flops.value() / b.total_s : 0.0;
   return b;
 }
 

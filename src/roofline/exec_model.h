@@ -12,6 +12,7 @@
 #include "arch/compiler.h"
 #include "arch/machine.h"
 #include "roofline/kernel.h"
+#include "util/units.h"
 
 namespace ctesim::roofline {
 
@@ -27,25 +28,25 @@ class ExecModel {
  public:
   ExecModel(const arch::NodeModel& node, arch::CompilerModel compiler);
 
-  /// Effective FLOP/s of one core running this kernel.
-  double core_flop_rate(const KernelSig& sig) const;
+  /// Effective throughput of one core running this kernel.
+  units::FlopsPerSec core_flop_rate(const KernelSig& sig) const;
 
-  /// Achieved memory bandwidth (bytes/s) for this kernel on `cores` cores.
-  double memory_bw(const KernelSig& sig, int cores) const;
+  /// Achieved memory bandwidth for this kernel on `cores` cores.
+  units::BytesPerSec memory_bw(const KernelSig& sig, int cores) const;
 
   /// Predicted time for `elems` elements on `cores` cores of one node
   /// (the cores' own best bandwidth — a rank running alone on the node).
-  double time(const KernelSig& sig, double elems, int cores) const;
+  units::Seconds time(const KernelSig& sig, double elems, int cores) const;
 
   /// Full component breakdown (for ablation benches and tests).
   Breakdown analyze(const KernelSig& sig, double elems, int cores) const;
 
-  /// Like analyze, but with an explicit raw bandwidth share (bytes/s,
-  /// before the kernel's mem_efficiency derating). Used by the simulated
-  /// MPI runtime: when every core of a node runs a rank, each rank gets
+  /// Like analyze, but with an explicit raw bandwidth share (before the
+  /// kernel's mem_efficiency derating). Used by the simulated MPI
+  /// runtime: when every core of a node runs a rank, each rank gets
   /// best_bw(node)/ranks_per_node, not a lone rank's bandwidth.
   Breakdown analyze_shared(const KernelSig& sig, double elems, int cores,
-                           double raw_bw_share) const;
+                           units::BytesPerSec raw_bw_share) const;
 
   const arch::NodeModel& node() const { return node_; }
   const arch::CompilerModel& compiler() const { return compiler_; }

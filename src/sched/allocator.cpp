@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "util/assert.h"
 #include "util/check.h"
 
 namespace ctesim::sched {
@@ -50,6 +51,14 @@ std::vector<int> Allocator::allocate(std::uint64_t job_id, int count,
 void Allocator::release(std::uint64_t job_id) {
   const auto it = owned_.find(job_id);
   CTESIM_EXPECTS(it != owned_.end());
+  // Bookkeeping invariant: a job's recorded nodes were marked busy when it
+  // was placed; a clear mark here means the two maps drifted (e.g. a raw
+  // release() bypassed the ownership record) — a double release in effect.
+  for (const int n : it->second) {
+    CTESIM_ASSERT(busy_[static_cast<std::size_t>(n)],
+                  "double release: a node recorded for this job is no "
+                  "longer marked busy");
+  }
   release(it->second);
   owned_.erase(it);
 }

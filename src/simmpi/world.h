@@ -61,6 +61,8 @@ class Group {
   Group(std::vector<int> members, int context);
 
   std::vector<int> members_;
+  // Lookup-only reverse index (never iterated): hash order cannot reach
+  // simulation results. Ordered iteration happens over members_.
   std::unordered_map<int, int> index_;
   int context_;
 };
@@ -166,7 +168,8 @@ class World {
   roofline::ExecModel exec_;
   sim::Engine engine_;
   std::vector<std::unique_ptr<Rank>> ranks_;
-  // One mailbox map per destination rank, keyed by (src, tag).
+  // One mailbox map per destination rank, keyed by (src, tag). Lookup-only
+  // (never iterated), so hash order cannot perturb message delivery.
   std::vector<std::unordered_map<std::uint64_t,
                                  std::unique_ptr<sim::Channel<Message>>>>
       mailboxes_;
@@ -178,7 +181,7 @@ class World {
   std::unique_ptr<trace::Recorder> owned_recorder_;
   trace::Recorder* recorder_ = nullptr;
   /// Fair raw-bandwidth share of one rank when all node ranks run (SPMD).
-  double rank_bw_share_ = 0.0;
+  units::BytesPerSec rank_bw_share_{0.0};
   bool ran_ = false;
 };
 

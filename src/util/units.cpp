@@ -51,6 +51,18 @@ std::string format_flops(double flops_per_second) {
   return format_scaled(flops_per_second, kSuffixes, 6, 1000.0);
 }
 
+std::string format_bandwidth(BytesPerSec bw) {
+  return format_bandwidth(bw.value());
+}
+
+std::string format_flops(FlopsPerSec rate) {
+  return format_flops(rate.value());
+}
+
+std::string format_seconds(Seconds seconds) {
+  return format_seconds(seconds.value());
+}
+
 std::string format_seconds(double seconds) {
   char buf[64];
   const double abs = std::fabs(seconds);

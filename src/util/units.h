@@ -1,6 +1,22 @@
-// Human-readable formatting and parsing of HPC quantities (bytes, bandwidth,
-// FLOP rates, durations). Used by the reporting layer and the bench harnesses
-// so every figure prints units the same way the paper does.
+// Physical quantities for the model math, plus human-readable formatting
+// and parsing of HPC quantities (bytes, bandwidth, FLOP rates, durations).
+//
+// The strong types (Seconds, Bytes, Flops, BytesPerSec, FlopsPerSec) make
+// unit mix-ups — GB/s where B/s was meant, microseconds fed into a
+// seconds slot — compile errors instead of silently wrong figures. They
+// wrap a double, cost nothing at runtime, and only convert to/from raw
+// doubles explicitly (construction `Seconds{x}` / extraction `.value()`).
+// Cross-dimension arithmetic yields the correct derived type:
+//
+//   Bytes / BytesPerSec -> Seconds        Bytes / Seconds -> BytesPerSec
+//   Flops / FlopsPerSec -> Seconds        Flops / Seconds -> FlopsPerSec
+//   BytesPerSec * Seconds -> Bytes        FlopsPerSec * Seconds -> Flops
+//
+// Same-dimension ratios collapse to a plain double (efficiencies,
+// speedups). Adding quantities of different dimensions does not compile.
+//
+// The formatting helpers are used by the reporting layer and the bench
+// harnesses so every figure prints units the same way the paper does.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +32,117 @@ inline constexpr double kKB = 1e3;
 inline constexpr double kMB = 1e6;
 inline constexpr double kGB = 1e9;
 
+// ------------------------------------------------------- strong quantities
+
+/// A dimension-tagged double. `Tag` distinguishes incompatible dimensions;
+/// all arithmetic that stays within one dimension lives here.
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  explicit constexpr Quantity(double value) : value_(value) {}
+
+  /// The raw magnitude in the dimension's base unit (s, B, flop, B/s,
+  /// flop/s). The only way out of the type system — keep extractions at
+  /// I/O and formatting boundaries.
+  constexpr double value() const { return value_; }
+
+  constexpr Quantity operator-() const { return Quantity{-value_}; }
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double k) {
+    value_ *= k;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double k) {
+    value_ /= k;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator*(Quantity a, double k) {
+    return Quantity{a.value_ * k};
+  }
+  friend constexpr Quantity operator*(double k, Quantity a) {
+    return Quantity{k * a.value_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double k) {
+    return Quantity{a.value_ / k};
+  }
+  /// Same-dimension ratio: an efficiency / speedup, dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+struct SecondsTag {};
+struct BytesTag {};
+struct FlopsTag {};
+struct BytesPerSecTag {};
+struct FlopsPerSecTag {};
+
+using Seconds = Quantity<SecondsTag>;          ///< durations, base unit s
+using Bytes = Quantity<BytesTag>;              ///< data volumes, base unit B
+using Flops = Quantity<FlopsTag>;              ///< FP work, base unit flop
+using BytesPerSec = Quantity<BytesPerSecTag>;  ///< bandwidth
+using FlopsPerSec = Quantity<FlopsPerSecTag>;  ///< compute rate
+
+// Cross-dimension arithmetic — each combination names its derived type.
+constexpr Seconds operator/(Bytes n, BytesPerSec rate) {
+  return Seconds{n.value() / rate.value()};
+}
+constexpr Seconds operator/(Flops n, FlopsPerSec rate) {
+  return Seconds{n.value() / rate.value()};
+}
+constexpr BytesPerSec operator/(Bytes n, Seconds t) {
+  return BytesPerSec{n.value() / t.value()};
+}
+constexpr FlopsPerSec operator/(Flops n, Seconds t) {
+  return FlopsPerSec{n.value() / t.value()};
+}
+constexpr Bytes operator*(BytesPerSec rate, Seconds t) {
+  return Bytes{rate.value() * t.value()};
+}
+constexpr Bytes operator*(Seconds t, BytesPerSec rate) { return rate * t; }
+constexpr Flops operator*(FlopsPerSec rate, Seconds t) {
+  return Flops{rate.value() * t.value()};
+}
+constexpr Flops operator*(Seconds t, FlopsPerSec rate) { return rate * t; }
+
+// Scaled constructors for the units the paper (and the machine files)
+// quote quantities in.
+constexpr Seconds microseconds(double us) { return Seconds{us * 1e-6}; }
+constexpr Seconds milliseconds(double ms) { return Seconds{ms * 1e-3}; }
+constexpr Bytes gigabytes(double gb) { return Bytes{gb * kGB}; }
+constexpr Bytes gibibytes(double gib) { return Bytes{gib * kGiB}; }
+constexpr BytesPerSec gigabytes_per_sec(double gbs) {
+  return BytesPerSec{gbs * kGB};
+}
+constexpr FlopsPerSec gigaflops(double gf) { return FlopsPerSec{gf * 1e9}; }
+
+// Scaled extractors for reporting.
+constexpr double to_us(Seconds s) { return s.value() * 1e6; }
+constexpr double to_gbs(BytesPerSec bw) { return bw.value() / kGB; }
+constexpr double to_gflops(FlopsPerSec rate) { return rate.value() / 1e9; }
+
+// ------------------------------------------------------------- formatting
+
 /// "256 B", "1.0 KiB", "4.0 MiB" — power-of-two units (message sizes).
 std::string format_bytes_binary(std::uint64_t bytes);
 
@@ -24,12 +151,15 @@ std::string format_bytes_decimal(double bytes);
 
 /// "862.6 GB/s" style bandwidth (decimal GB as in STREAM and the paper).
 std::string format_bandwidth(double bytes_per_second);
+std::string format_bandwidth(BytesPerSec bw);
 
 /// "70.40 GFlop/s", "2.1 TFlop/s".
 std::string format_flops(double flops_per_second);
+std::string format_flops(FlopsPerSec rate);
 
 /// "12.5 us", "3.2 ms", "41.0 s".
 std::string format_seconds(double seconds);
+std::string format_seconds(Seconds seconds);
 
 /// Parse sizes like "256", "4k", "1M", "2G" (binary multipliers) into bytes.
 /// Returns false on malformed input.

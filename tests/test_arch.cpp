@@ -13,15 +13,15 @@ namespace {
 TEST(TableI, CteArmPeaks) {
   const auto m = cte_arm();
   // DP Peak / core = 70.40 GFlop/s.
-  EXPECT_NEAR(m.node.core.peak_vector_flops(Precision::kDouble), 70.40e9,
+  EXPECT_NEAR(m.node.core.peak_vector_flops(Precision::kDouble).value(), 70.40e9,
               1e6);
   // DP Peak / node = 3379.20 GFlop/s.
-  EXPECT_NEAR(m.node.peak_flops(), 3379.20e9, 1e7);
+  EXPECT_NEAR(m.node.peak_flops().value(), 3379.20e9, 1e7);
   EXPECT_EQ(m.node.core_count(), 48);
   EXPECT_EQ(m.node.num_domains, 4);
   EXPECT_EQ(m.node.sockets, 1);
   EXPECT_NEAR(m.node.memory_gb(), 32.0, 1e-9);
-  EXPECT_NEAR(m.node.peak_bw(), 1024.0e9, 1e-3);
+  EXPECT_NEAR(m.node.peak_bw().value(), 1024.0e9, 1e-3);
   EXPECT_EQ(m.num_nodes, 192);
   EXPECT_NEAR(m.interconnect.link_bw, 6.8e9, 1e-3);
 }
@@ -29,37 +29,37 @@ TEST(TableI, CteArmPeaks) {
 TEST(TableI, MareNostrum4Peaks) {
   const auto m = marenostrum4();
   // DP Peak / core = 67.20 GFlop/s.
-  EXPECT_NEAR(m.node.core.peak_vector_flops(Precision::kDouble), 67.20e9,
+  EXPECT_NEAR(m.node.core.peak_vector_flops(Precision::kDouble).value(), 67.20e9,
               1e6);
   // DP Peak / node = 3225.60 GFlop/s.
-  EXPECT_NEAR(m.node.peak_flops(), 3225.60e9, 1e7);
+  EXPECT_NEAR(m.node.peak_flops().value(), 3225.60e9, 1e7);
   EXPECT_EQ(m.node.core_count(), 48);
   EXPECT_EQ(m.node.sockets, 2);
   EXPECT_NEAR(m.node.memory_gb(), 96.0, 1e-9);
-  EXPECT_NEAR(m.node.peak_bw(), 256.0e9, 1e-3);
+  EXPECT_NEAR(m.node.peak_bw().value(), 256.0e9, 1e-3);
   EXPECT_EQ(m.num_nodes, 3456);
   EXPECT_NEAR(m.interconnect.link_bw, 12.0e9, 1e-3);
 }
 
 TEST(CoreModel, PrecisionScalingOnA64fx) {
   const auto core = cte_arm().node.core;
-  const double dp = core.peak_vector_flops(Precision::kDouble);
+  const double dp = core.peak_vector_flops(Precision::kDouble).value();
   // SVE with native FP16: single = 2x double, half = 4x double.
-  EXPECT_NEAR(core.peak_vector_flops(Precision::kSingle), 2.0 * dp, 1.0);
-  EXPECT_NEAR(core.peak_vector_flops(Precision::kHalf), 4.0 * dp, 1.0);
+  EXPECT_NEAR(core.peak_vector_flops(Precision::kSingle).value(), 2.0 * dp, 1.0);
+  EXPECT_NEAR(core.peak_vector_flops(Precision::kHalf).value(), 4.0 * dp, 1.0);
 }
 
 TEST(CoreModel, HalfFallsBackToSingleOnSkylake) {
   const auto core = marenostrum4().node.core;
   // AVX-512 has no FP16 arithmetic: half runs at the single rate.
-  EXPECT_DOUBLE_EQ(core.peak_vector_flops(Precision::kHalf),
-                   core.peak_vector_flops(Precision::kSingle));
+  EXPECT_DOUBLE_EQ(core.peak_vector_flops(Precision::kHalf).value(),
+                   core.peak_vector_flops(Precision::kSingle).value());
 }
 
 TEST(CoreModel, ScalarPeakIndependentOfPrecision) {
   const auto core = cte_arm().node.core;
   // 2 scalar FMA/cycle * 2 flops * 2.2 GHz = 8.8 GFlop/s.
-  EXPECT_NEAR(core.peak_scalar_flops(), 8.8e9, 1e3);
+  EXPECT_NEAR(core.peak_scalar_flops().value(), 8.8e9, 1e3);
 }
 
 TEST(Memory, DomainBandwidthSaturates) {
@@ -67,20 +67,20 @@ TEST(Memory, DomainBandwidthSaturates) {
   // Monotone non-decreasing up to saturation; capped at the ceiling.
   double prev = 0.0;
   for (int t = 1; t <= domain.cores; ++t) {
-    const double bw = domain.achieved_bw(t);
+    const double bw = domain.achieved_bw(t).value();
     EXPECT_GE(bw, prev - 1e-6);
-    EXPECT_LE(bw, domain.ceiling_bw() + 1e-6);
+    EXPECT_LE(bw, domain.ceiling_bw().value() + 1e-6);
     prev = bw;
   }
-  EXPECT_DOUBLE_EQ(domain.achieved_bw(0), 0.0);
+  EXPECT_DOUBLE_EQ(domain.achieved_bw(0).value(), 0.0);
 }
 
 TEST(Memory, Fig2AnchorsCteArm) {
   const auto node = cte_arm().node;
   // Paper: OpenMP STREAM saturates at 292.0 GB/s around 24 threads...
-  EXPECT_NEAR(node.single_process_bw(24), 292.0e9, 4.0e9);
+  EXPECT_NEAR(node.single_process_bw(24).value(), 292.0e9, 4.0e9);
   // ...and is only mildly lower at 48 threads.
-  const double bw48 = node.single_process_bw(48);
+  const double bw48 = node.single_process_bw(48).value();
   EXPECT_GT(bw48, 0.9 * 292.0e9);
   EXPECT_LE(bw48, 292.0e9);
 }
@@ -88,22 +88,22 @@ TEST(Memory, Fig2AnchorsCteArm) {
 TEST(Memory, Fig3AnchorsCteArm) {
   const auto node = cte_arm().node;
   // Hybrid 4 ranks x 12 threads reaches 862.6 GB/s = 84% of 1024.
-  EXPECT_NEAR(node.hybrid_bw(4, 12), 862.6e9, 2.0e9);
+  EXPECT_NEAR(node.hybrid_bw(4, 12).value(), 862.6e9, 2.0e9);
 }
 
 TEST(Memory, Fig2AnchorsMareNostrum4) {
   const auto node = marenostrum4().node;
   // Paper: best 201.2 GB/s = 66% of peak with 48 threads.
-  EXPECT_NEAR(node.single_process_bw(48), 201.2e9, 3.0e9);
+  EXPECT_NEAR(node.single_process_bw(48).value(), 201.2e9, 3.0e9);
   // MN4 keeps growing to the full node (max at 48, not before).
-  EXPECT_GE(node.single_process_bw(48), node.single_process_bw(24) - 1e6);
+  EXPECT_GE(node.single_process_bw(48).value(), node.single_process_bw(24).value() - 1e6);
 }
 
 TEST(Memory, BestBwUsesAllDomains) {
   const auto node = cte_arm().node;
-  EXPECT_NEAR(node.best_bw(48), 862.6e9, 2.0e9);
+  EXPECT_NEAR(node.best_bw(48).value(), 862.6e9, 2.0e9);
   // Half the cores still drive all four CMGs at half strength or better.
-  EXPECT_GT(node.best_bw(24), 0.45 * node.best_bw(48));
+  EXPECT_GT(node.best_bw(24).value(), 0.45 * node.best_bw(48).value());
 }
 
 TEST(Compiler, GnuCannotVectorizeAppsOnA64fx) {
@@ -142,14 +142,14 @@ TEST(Compiler, DefaultAppCompilerMatchesPaper) {
 
 TEST(Machine, TotalPeaks) {
   // 192 nodes: CTE-Arm 648.8 TFlop/s vs MN4-equivalent 619.3 TFlop/s.
-  EXPECT_NEAR(cte_arm().peak_flops_total(), 192 * 3379.2e9, 1e9);
+  EXPECT_NEAR(cte_arm().peak_flops_total().value(), 192 * 3379.2e9, 1e9);
   const auto mn4 = marenostrum4();
-  EXPECT_NEAR(mn4.node.peak_flops() * 192, 192 * 3225.6e9, 1e9);
+  EXPECT_NEAR(mn4.node.peak_flops().value() * 192, 192 * 3225.6e9, 1e9);
 }
 
 TEST(Machine, LlcBytes) {
-  EXPECT_NEAR(cte_arm().node.llc_bytes(), 32.0 * 1024 * 1024, 1.0);
-  EXPECT_NEAR(marenostrum4().node.llc_bytes(), (66.0 + 48.0) * 1024 * 1024,
+  EXPECT_NEAR(cte_arm().node.llc_bytes().value(), 32.0 * 1024 * 1024, 1.0);
+  EXPECT_NEAR(marenostrum4().node.llc_bytes().value(), (66.0 + 48.0) * 1024 * 1024,
               1.0);
 }
 

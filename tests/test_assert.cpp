@@ -1,0 +1,72 @@
+// Tests for the CTESIM_ASSERT / CTESIM_DCHECK invariant macros. The suite
+// runs in every configuration: with checks enabled it asserts the throwing
+// behaviour, with checks compiled out it asserts the macros are true no-ops
+// (the expression must not even be evaluated).
+#include <gtest/gtest.h>
+
+#include "sched/allocator.h"
+#include "util/assert.h"
+
+namespace ctesim {
+namespace {
+
+#if CTESIM_CHECKS_ENABLED
+
+TEST(Assert, ViolationThrowsContractErrorWithContext) {
+  try {
+    CTESIM_ASSERT(1 + 1 == 3, "arithmetic invariant for the test");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos);
+    EXPECT_NE(what.find("arithmetic invariant"), std::string::npos);
+    EXPECT_NE(what.find("test_assert.cpp"), std::string::npos);
+  }
+}
+
+TEST(Assert, DcheckThrowsToo) {
+  EXPECT_THROW(CTESIM_DCHECK(false, "must fire"), ContractError);
+  EXPECT_NO_THROW(CTESIM_DCHECK(true, "must not fire"));
+}
+
+TEST(Assert, AllocatorDoubleReleaseIsCaught) {
+  const net::TorusTopology topology({2, 2});
+  sched::Allocator alloc(topology);
+  // Explicit vectors: release() is overloaded on job id, and a braced
+  // single-element list would resolve to the std::uint64_t overload.
+  const std::vector<int> node0 = {0};
+  const std::vector<int> node1 = {1};
+  alloc.occupy({0, 1});
+  alloc.release(node0);
+  EXPECT_THROW(alloc.release(node0), ContractError);  // double release
+  EXPECT_THROW(alloc.occupy(node1), ContractError);   // double occupation
+}
+
+TEST(Assert, AllocatorJobBookkeepingDriftIsCaught) {
+  const net::TorusTopology topology({2, 2});
+  sched::Allocator alloc(topology);
+  const auto nodes = alloc.allocate(7, 2, sched::Policy::kLinear, 1);
+  ASSERT_EQ(nodes.size(), 2u);
+  // A raw release behind the ownership record's back: the job-id release
+  // must detect the drift (its nodes are no longer marked busy).
+  alloc.release(nodes);
+  EXPECT_THROW(alloc.release(std::uint64_t{7}), ContractError);
+}
+
+#else  // checks compiled out
+
+TEST(Assert, CompiledOutMacrosDoNotEvaluate) {
+  int evaluations = 0;
+  auto probe = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  CTESIM_ASSERT(probe(), "must not run");
+  CTESIM_DCHECK(probe(), "must not run");
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // CTESIM_CHECKS_ENABLED
+
+}  // namespace
+}  // namespace ctesim

@@ -24,7 +24,7 @@ TEST_P(HplNodes, ThroughputGrowsAndEfficiencyShrinks) {
     // Efficiency is a fraction; GFlop/s below aggregate peak.
     EXPECT_GT(small.efficiency, 0.0);
     EXPECT_LT(small.efficiency, 1.0);
-    EXPECT_LT(small.gflops * 1e9, machine.node.peak_flops() * nodes);
+    EXPECT_LT(small.gflops * 1e9, machine.node.peak_flops().value() * nodes);
   }
 }
 

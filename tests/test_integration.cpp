@@ -26,8 +26,8 @@ TEST(Integration, MachineFileRoundTripPreservesExperimentResults) {
   const mem::StreamSimulator s1(original);
   const mem::StreamSimulator s2(reloaded);
   EXPECT_DOUBLE_EQ(
-      s1.omp_bandwidth(mem::StreamKernel::kTriad, 24, arch::Language::kC),
-      s2.omp_bandwidth(mem::StreamKernel::kTriad, 24, arch::Language::kC));
+      s1.omp_bandwidth(mem::StreamKernel::kTriad, 24, arch::Language::kC).value(),
+      s2.omp_bandwidth(mem::StreamKernel::kTriad, 24, arch::Language::kC).value());
 
   hpcb::HplModel h1(original, hpcb::hpl_config_for(original));
   hpcb::HplModel h2(reloaded, hpcb::hpl_config_for(reloaded));

@@ -44,9 +44,9 @@ TEST(MachineIo, RoundTripsCteArm) {
   const auto parsed = parse_machine_string(machine_to_string(original));
   expect_machines_equal(original, parsed);
   // Derived quantities survive too.
-  EXPECT_DOUBLE_EQ(parsed.node.peak_flops(), original.node.peak_flops());
-  EXPECT_DOUBLE_EQ(parsed.node.single_process_bw(24),
-                   original.node.single_process_bw(24));
+  EXPECT_DOUBLE_EQ(parsed.node.peak_flops().value(), original.node.peak_flops().value());
+  EXPECT_DOUBLE_EQ(parsed.node.single_process_bw(24).value(),
+                   original.node.single_process_bw(24).value());
 }
 
 TEST(MachineIo, RoundTripsMareNostrum4) {

@@ -162,8 +162,8 @@ TEST_P(RooflineProperty, TimePositiveAdditiveAndMonotone) {
   for (const auto& machine : {arch::cte_arm(), arch::marenostrum4()}) {
     const roofline::ExecModel model(machine.node,
                                     arch::default_app_compiler(machine));
-    const double t1 = model.time(sig, 1e6, cores);
-    const double t2 = model.time(sig, 2e6, cores);
+    const double t1 = model.time(sig, 1e6, cores).value();
+    const double t2 = model.time(sig, 2e6, cores).value();
     EXPECT_GT(t1, 0.0);
     // Linearity in elements.
     EXPECT_NEAR(t2, 2.0 * t1, 1e-9 * t2);
@@ -180,7 +180,7 @@ TEST_P(RooflineProperty, BetterCompilerNeverSlower) {
   const auto machine = arch::cte_arm();
   const roofline::ExecModel gnu(machine.node, arch::gnu_compiler());
   const roofline::ExecModel vendor(machine.node, arch::vendor_tuned());
-  EXPECT_LE(vendor.time(sig, 1e6, cores), gnu.time(sig, 1e6, cores) * 1.001);
+  EXPECT_LE(vendor.time(sig, 1e6, cores).value(), gnu.time(sig, 1e6, cores).value() * 1.001);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RooflineProperty,

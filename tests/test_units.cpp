@@ -1,0 +1,118 @@
+// Tests for the strong-typed physical quantities in util/units.h: scaled
+// constructors/extractors, derived-type arithmetic, and (via the detection
+// idiom) the dimension mix-ups that must NOT compile.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <utility>
+
+#include "util/units.h"
+
+namespace ctesim::units {
+namespace {
+
+// ---- compile-time: dimension algebra yields the right types -------------
+static_assert(std::is_same_v<decltype(Bytes{1.0} / BytesPerSec{1.0}), Seconds>);
+static_assert(std::is_same_v<decltype(Flops{1.0} / FlopsPerSec{1.0}), Seconds>);
+static_assert(std::is_same_v<decltype(Bytes{1.0} / Seconds{1.0}), BytesPerSec>);
+static_assert(std::is_same_v<decltype(Flops{1.0} / Seconds{1.0}), FlopsPerSec>);
+static_assert(
+    std::is_same_v<decltype(BytesPerSec{1.0} * Seconds{1.0}), Bytes>);
+static_assert(
+    std::is_same_v<decltype(Seconds{1.0} * FlopsPerSec{1.0}), Flops>);
+// Same-dimension ratios are dimensionless.
+static_assert(std::is_same_v<decltype(Seconds{1.0} / Seconds{2.0}), double>);
+static_assert(
+    std::is_same_v<decltype(BytesPerSec{1.0} / BytesPerSec{2.0}), double>);
+// Scaling by a raw double stays in the dimension.
+static_assert(std::is_same_v<decltype(2.0 * Seconds{1.0}), Seconds>);
+static_assert(std::is_same_v<decltype(Bytes{8.0} / 2.0), Bytes>);
+
+// ---- compile-time: mix-ups must not compile -----------------------------
+template <class A, class B, class = void>
+struct CanAdd : std::false_type {};
+template <class A, class B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct CanMultiply : std::false_type {};
+template <class A, class B>
+struct CanMultiply<
+    A, B, std::void_t<decltype(std::declval<A>() * std::declval<B>())>>
+    : std::true_type {};
+
+static_assert(CanAdd<Seconds, Seconds>::value);
+static_assert(!CanAdd<Seconds, Bytes>::value,
+              "adding different dimensions must not compile");
+static_assert(!CanAdd<BytesPerSec, FlopsPerSec>::value,
+              "bandwidth + compute rate must not compile");
+static_assert(!CanAdd<Seconds, double>::value,
+              "quantity + raw double must not compile");
+static_assert(!CanMultiply<Bytes, Bytes>::value,
+              "Bytes * Bytes has no dimension here and must not compile");
+static_assert(!std::is_convertible_v<double, Seconds>,
+              "construction from raw double must stay explicit");
+static_assert(!std::is_convertible_v<Seconds, double>,
+              "extraction must go through .value()");
+
+// ---- runtime behaviour --------------------------------------------------
+TEST(Units, ScaledConstructorsAndExtractors) {
+  EXPECT_DOUBLE_EQ(microseconds(12.5).value(), 12.5e-6);
+  EXPECT_DOUBLE_EQ(milliseconds(3.0).value(), 3.0e-3);
+  EXPECT_DOUBLE_EQ(gigabytes(32.0).value(), 32.0e9);
+  EXPECT_DOUBLE_EQ(gibibytes(1.0).value(), 1024.0 * 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(gigabytes_per_sec(292.0).value(), 292.0e9);
+  EXPECT_DOUBLE_EQ(gigaflops(70.4).value(), 70.4e9);
+
+  EXPECT_DOUBLE_EQ(to_us(microseconds(7.0)), 7.0);
+  EXPECT_DOUBLE_EQ(to_gbs(gigabytes_per_sec(862.6)), 862.6);
+  EXPECT_DOUBLE_EQ(to_gflops(gigaflops(3379.2)), 3379.2);
+}
+
+TEST(Units, DerivedTypeArithmetic) {
+  // Transfer time: 1 GB at 256 GB/s.
+  const Seconds t = gigabytes(1.0) / gigabytes_per_sec(256.0);
+  EXPECT_NEAR(t.value(), 1.0 / 256.0, 1e-15);
+  // Round trip back to volume.
+  const Bytes back = gigabytes_per_sec(256.0) * t;
+  EXPECT_NEAR(back.value(), 1.0e9, 1e-3);
+  // Compute time and achieved rate.
+  const Seconds tc = Flops{2.0e9} / gigaflops(4.0);
+  EXPECT_DOUBLE_EQ(tc.value(), 0.5);
+  EXPECT_DOUBLE_EQ((Flops{2.0e9} / tc).value(), 4.0e9);
+}
+
+TEST(Units, SameDimensionRatioIsEfficiency) {
+  const double eff = gigabytes_per_sec(862.6) / gigabytes_per_sec(1024.0);
+  EXPECT_NEAR(eff, 0.8424, 1e-4);
+}
+
+TEST(Units, InPlaceAndComparisonOperators) {
+  Seconds t = milliseconds(1.0);
+  t += milliseconds(2.0);
+  t -= microseconds(500.0);
+  t *= 2.0;
+  t /= 4.0;
+  EXPECT_DOUBLE_EQ(t.value(), (1e-3 + 2e-3 - 0.5e-3) * 2.0 / 4.0);
+  EXPECT_LT(microseconds(1.0), milliseconds(1.0));
+  EXPECT_GT(gigabytes(2.0), gigabytes(1.0));
+  EXPECT_EQ(Seconds{0.25}, Seconds{0.25});
+  EXPECT_DOUBLE_EQ((-Seconds{0.25}).value(), -0.25);
+}
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_DOUBLE_EQ(BytesPerSec{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Flops{}.value(), 0.0);
+}
+
+TEST(Units, TypedFormattingMatchesRawOverloads) {
+  EXPECT_EQ(format_bandwidth(gigabytes_per_sec(862.6)),
+            format_bandwidth(862.6e9));
+  EXPECT_EQ(format_flops(gigaflops(70.40)), format_flops(70.40e9));
+  EXPECT_EQ(format_seconds(microseconds(12.5)), format_seconds(12.5e-6));
+}
+
+}  // namespace
+}  // namespace ctesim::units

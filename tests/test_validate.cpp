@@ -50,6 +50,48 @@ TEST(Validate, CatchesSingleThreadBwAbovePeak) {
   EXPECT_FALSE(validate(m).empty());
 }
 
+TEST(Validate, CatchesNegativeNetworkLatencies) {
+  auto m = cte_arm();
+  m.interconnect.per_hop_latency_s = -1e-7;
+  auto problems = validate(m);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("per_hop_latency"), std::string::npos);
+
+  m = cte_arm();
+  m.interconnect.base_latency_s = -1.0e-6;
+  m.interconnect.rendezvous_latency_s = -2.0e-6;
+  EXPECT_EQ(validate(m).size(), 2u);
+}
+
+TEST(Validate, CatchesNonPositiveLinkBandwidth) {
+  auto m = cte_arm();
+  m.interconnect.link_bw = 0.0;
+  auto problems = validate(m);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("link_bw"), std::string::npos);
+}
+
+TEST(Validate, CatchesInsaneTorusDims) {
+  auto m = cte_arm();
+  ASSERT_FALSE(m.interconnect.dims.empty());
+  m.interconnect.dims[0] = 0;
+  const auto problems = validate(m);
+  // Zero-sized dimension (the coverage check is skipped for broken dims).
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("every size must be >= 1"), std::string::npos);
+  m.interconnect.dims.clear();
+  EXPECT_FALSE(validate(m).empty()) << "torus with no dims must be invalid";
+}
+
+TEST(Validate, CatchesNegativeNodeExtras) {
+  auto m = cte_arm();
+  m.node.single_process_bw_cap = -1.0;
+  m.node.sp_thread_bw = -1.0;
+  m.node.l2_total_mb = -1.0;
+  m.node.l3_total_mb = -1.0;
+  EXPECT_EQ(validate(m).size(), 4u);
+}
+
 TEST(Validate, FatTreeNeedsNoDims) {
   auto m = marenostrum4();
   m.interconnect.dims.clear();

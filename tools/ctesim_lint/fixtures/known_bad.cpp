@@ -1,0 +1,61 @@
+// Fixture for the ctesim-lint self-test. Each marked line must produce
+// exactly the named finding; unmarked lines must stay clean. This file is
+// never compiled — it only needs to look like the code the rules target.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct MachineModel {
+  double peak = 0.0;
+};
+
+struct Holder {
+  std::unordered_map<int, double> weights_;
+  std::unordered_set<int> seen_;
+  std::map<int, double> ordered_;
+};
+
+inline double sum_weights(const Holder& h) {
+  double total = 0.0;
+  for (const auto& [node, w] : h.weights_) {  // LINT-EXPECT: unordered-iteration
+    total += w;
+  }
+  for (auto it = h.seen_.begin(); it != h.seen_.end(); ++it) {  // LINT-EXPECT: unordered-iteration
+    total += static_cast<double>(*it);
+  }
+  for (const auto& [node, w] : h.ordered_) {  // ordered: clean
+    total += w;
+  }
+  return total;
+}
+
+inline double timestamped() {
+  const auto t0 = std::chrono::steady_clock::now();  // LINT-EXPECT: wall-clock
+  std::srand(42);                                    // LINT-EXPECT: wall-clock
+  const int r = std::rand();                         // LINT-EXPECT: wall-clock
+  const std::time_t wall = std::time(nullptr);       // LINT-EXPECT: wall-clock
+  (void)t0;
+  return static_cast<double>(r + wall);
+}
+
+inline bool converged(double residual) {
+  if (residual == 0.0) return true;  // LINT-EXPECT: float-equality
+  if (residual != 1e-9) return false;  // LINT-EXPECT: float-equality
+  return residual < 1e-12;  // inequality: clean
+}
+
+inline double use_machine() {
+  MachineModel m;  // LINT-EXPECT: unvalidated-machine
+  return m.peak;
+}
+
+// A string mentioning steady_clock and an == 0.0 comparison must not fire:
+inline const char* doc() { return "steady_clock, x == 0.0"; }
+// Nor a comment: steady_clock, rand(), x == 0.0.
+
+}  // namespace fixture

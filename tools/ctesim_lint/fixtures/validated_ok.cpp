@@ -1,0 +1,17 @@
+// Clean fixture: direct MachineModel construction is fine when the file
+// routes the model through validation.
+namespace fixture {
+
+struct MachineModel {
+  double peak = 0.0;
+};
+
+void validate_or_throw(const MachineModel&);
+
+inline double use_machine_checked() {
+  MachineModel m;  // clean: validate_or_throw below
+  validate_or_throw(m);
+  return m.peak;
+}
+
+}  // namespace fixture

@@ -1,0 +1,460 @@
+// ctesim-lint: a purpose-built determinism / correctness checker for this
+// repository. It is deliberately lexical (no AST): the rules target a small
+// set of project-specific hazards that general tools miss, and a lexical
+// scan keeps the tool dependency-free and fast enough to run as a test.
+//
+// Rules (ids are what the allowlist references):
+//   unordered-iteration  Iterating a std::unordered_map/unordered_set
+//                        (range-for or .begin()/.cbegin()). Hash-order
+//                        iteration feeding results/traces is the classic
+//                        source of run-to-run nondeterminism in the
+//                        simulator. Variable names are collected corpus-wide
+//                        in a first pass, so iteration in one file of a
+//                        member declared in another is still caught.
+//   wall-clock           Wall-clock or libc randomness in src/ (std::chrono
+//                        clocks, time(nullptr), rand(), gettimeofday).
+//                        Simulated time must come from the DES engine and
+//                        randomness from util/rng.h. bench/ and examples/
+//                        are exempt: native measurement needs real clocks.
+//   float-equality       ==/!= against a floating-point literal. Model math
+//                        is all doubles; exact comparison is almost always
+//                        a latent bug. Use epsilons or integer state.
+//   unvalidated-machine  A MachineModel constructed directly in a file that
+//                        never mentions validate: models must go through
+//                        arch::validate_or_throw before use.
+//
+// Usage:
+//   ctesim_lint --root <repo_root> [--allowlist <file>]
+//   ctesim_lint --self-test <fixtures_dir>
+//
+// The allowlist holds lines of the form "path-suffix:rule" (comments with
+// '#'). Every entry must carry a justification comment; unused entries are
+// reported so the list cannot rot. Self-test mode checks that each
+// "// LINT-EXPECT: <rule>" marker line in the fixtures produces exactly
+// that finding, and that no unexpected findings appear.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;  // path as scanned (absolute or root-relative)
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string detail;
+};
+
+struct SourceFile {
+  std::string path;
+  bool in_src = false;             // subject to the wall-clock rule
+  std::vector<std::string> raw;    // original lines (for LINT-EXPECT)
+  std::vector<std::string> code;   // comments/strings blanked out
+};
+
+/// Replace comment and string-literal contents with spaces, preserving
+/// line structure, so the rule regexes never fire inside either.
+std::string mask_comments_and_strings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Names of variables declared with an unordered container type anywhere in
+/// the corpus. Handles multi-line declarations by scanning the masked text
+/// as one string and balancing the template angle brackets.
+void collect_unordered_names(const std::string& masked,
+                             std::set<std::string>* names) {
+  static const std::regex kDecl("unordered_(?:map|set|multimap|multiset)\\s*<");
+  for (auto it = std::sregex_iterator(masked.begin(), masked.end(), kDecl);
+       it != std::sregex_iterator(); ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position()) +
+                      static_cast<std::size_t>(it->length());
+    int depth = 1;
+    while (pos < masked.size() && depth > 0) {
+      if (masked[pos] == '<') ++depth;
+      if (masked[pos] == '>') --depth;
+      ++pos;
+    }
+    // Skip whitespace, then read an identifier; "type name;" / "type name{"
+    // / "type name =" are declarations, "type>()" or "type> foo(" is not
+    // distinguished further — a spurious name only matters if something
+    // iterates it, which is exactly the hazard we want flagged.
+    while (pos < masked.size() && std::isspace(static_cast<unsigned char>(
+                                      masked[pos]))) {
+      ++pos;
+    }
+    std::string name;
+    while (pos < masked.size() &&
+           (std::isalnum(static_cast<unsigned char>(masked[pos])) ||
+            masked[pos] == '_')) {
+      name += masked[pos++];
+    }
+    if (!name.empty() && !std::isdigit(static_cast<unsigned char>(name[0]))) {
+      names->insert(name);
+    }
+  }
+}
+
+std::string last_identifier(const std::string& expr) {
+  std::size_t end = expr.size();
+  while (end > 0 && std::isspace(static_cast<unsigned char>(expr[end - 1]))) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 &&
+         (std::isalnum(static_cast<unsigned char>(expr[begin - 1])) ||
+          expr[begin - 1] == '_')) {
+    --begin;
+  }
+  return expr.substr(begin, end - begin);
+}
+
+void scan_file(const SourceFile& file, const std::set<std::string>& unordered,
+               std::vector<Finding>* findings) {
+  static const std::regex kRangeFor("for\\s*\\([^;:)]*:\\s*([^)]+)\\)");
+  static const std::regex kBeginCall(
+      "([A-Za-z_][A-Za-z0-9_]*)\\s*\\.\\s*c?begin\\s*\\(");
+  static const std::regex kWallClock(
+      "steady_clock|system_clock|high_resolution_clock|gettimeofday|"
+      "\\btime\\s*\\(\\s*(nullptr|NULL|0)\\s*\\)|\\brand\\s*\\(\\s*\\)|"
+      "\\bsrand\\s*\\(|\\bclock\\s*\\(\\s*\\)");
+  // A floating literal on either side of ==/!=. Integer comparisons are
+  // fine; the literal must contain '.' or an exponent to qualify.
+  static const std::regex kFloatEq(
+      "[=!]=\\s*[-+]?(?:\\d+\\.\\d*|\\.\\d+|\\d+(?:\\.\\d*)?[eE][-+]?\\d+)|"
+      "(?:\\d+\\.\\d*|\\.\\d+|\\d+(?:\\.\\d*)?[eE][-+]?\\d+)[fF]?\\s*[=!]=");
+  static const std::regex kMachineDecl(
+      "\\bMachineModel\\s+[A-Za-z_][A-Za-z0-9_]*\\s*;");
+
+  bool mentions_validate = false;
+  for (const auto& line : file.code) {
+    if (line.find("validate") != std::string::npos) {
+      mentions_validate = true;
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    const int lineno = static_cast<int>(i) + 1;
+    std::smatch m;
+
+    if (std::regex_search(line, m, kRangeFor)) {
+      const std::string name = last_identifier(m[1].str());
+      if (unordered.count(name) > 0) {
+        findings->push_back({file.path, lineno, "unordered-iteration",
+                             "range-for over unordered container '" + name +
+                                 "' — hash order is not deterministic"});
+      }
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kBeginCall);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (unordered.count(name) > 0) {
+        findings->push_back({file.path, lineno, "unordered-iteration",
+                             "iterator over unordered container '" + name +
+                                 "' — hash order is not deterministic"});
+      }
+    }
+    if (file.in_src && std::regex_search(line, m, kWallClock)) {
+      findings->push_back({file.path, lineno, "wall-clock",
+                           "wall-clock/libc randomness in simulation code "
+                           "('" + m.str() +
+                               "') — use sim::Engine time / util/rng.h"});
+    }
+    if (std::regex_search(line, m, kFloatEq)) {
+      findings->push_back({file.path, lineno, "float-equality",
+                           "exact floating-point comparison ('" + m.str() +
+                               "') — compare with a tolerance"});
+    }
+    // Headers only *declare* MachineModel members (owners validate on the
+    // way in); construction without validation happens in function bodies,
+    // so the rule is scoped to implementation files.
+    const bool impl_file =
+        has_suffix(file.path, ".cpp") || has_suffix(file.path, ".cc");
+    if (impl_file && std::regex_search(line, m, kMachineDecl) &&
+        !mentions_validate) {
+      findings->push_back(
+          {file.path, lineno, "unvalidated-machine",
+           "MachineModel built without any validate call in this file — "
+           "run arch::validate_or_throw before using the model"});
+    }
+  }
+}
+
+std::vector<SourceFile> load_tree(const std::vector<fs::path>& roots,
+                                  bool treat_all_as_src) {
+  std::vector<SourceFile> files;
+  for (const auto& root : roots) {
+    if (!fs::exists(root)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp" && ext != ".cc" && ext != ".hpp") {
+        continue;
+      }
+      std::ifstream in(entry.path());
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      SourceFile file;
+      file.path = entry.path().generic_string();
+      file.in_src = treat_all_as_src ||
+                    file.path.find("/src/") != std::string::npos;
+      file.raw = split_lines(buffer.str());
+      file.code = split_lines(mask_comments_and_strings(buffer.str()));
+      files.push_back(std::move(file));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+std::vector<Finding> run_scan(const std::vector<SourceFile>& files) {
+  std::set<std::string> unordered;
+  for (const auto& file : files) {
+    std::string masked;
+    for (const auto& line : file.code) {
+      masked += line;
+      masked += '\n';
+    }
+    collect_unordered_names(masked, &unordered);
+  }
+  std::vector<Finding> findings;
+  for (const auto& file : files) scan_file(file, unordered, &findings);
+  return findings;
+}
+
+struct AllowEntry {
+  std::string suffix;
+  std::string rule;
+  bool used = false;
+};
+
+std::vector<AllowEntry> load_allowlist(const std::string& path) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // Trim.
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(
+                                line.back()))) {
+      line.pop_back();
+    }
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start]))) {
+      ++start;
+    }
+    line = line.substr(start);
+    if (line.empty()) continue;
+    const std::size_t colon = line.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "ctesim-lint: bad allowlist entry '%s'\n",
+                   line.c_str());
+      continue;
+    }
+    entries.push_back({line.substr(0, colon), line.substr(colon + 1), false});
+  }
+  return entries;
+}
+
+int run_repo(const fs::path& root, const std::string& allowlist_path) {
+  const std::vector<fs::path> roots = {root / "src", root / "bench",
+                                       root / "examples"};
+  const auto files = load_tree(roots, /*treat_all_as_src=*/false);
+  auto findings = run_scan(files);
+
+  auto allow = load_allowlist(allowlist_path);
+  std::vector<Finding> reported;
+  for (const auto& finding : findings) {
+    bool allowed = false;
+    for (auto& entry : allow) {
+      if (entry.rule == finding.rule && has_suffix(finding.file,
+                                                   entry.suffix)) {
+        entry.used = true;
+        allowed = true;
+      }
+    }
+    if (!allowed) reported.push_back(finding);
+  }
+
+  for (const auto& f : reported) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.detail.c_str());
+  }
+  bool stale = false;
+  for (const auto& entry : allow) {
+    if (!entry.used) {
+      std::fprintf(stderr,
+                   "ctesim-lint: stale allowlist entry '%s:%s' — the finding "
+                   "it suppressed is gone; remove it\n",
+                   entry.suffix.c_str(), entry.rule.c_str());
+      stale = true;
+    }
+  }
+  std::printf("ctesim-lint: %zu file(s), %zu finding(s), %zu allowlisted\n",
+              files.size(), reported.size(), findings.size() - reported.size());
+  return (reported.empty() && !stale) ? 0 : 1;
+}
+
+int run_self_test(const fs::path& fixtures) {
+  const auto files = load_tree({fixtures}, /*treat_all_as_src=*/true);
+  if (files.empty()) {
+    std::fprintf(stderr, "ctesim-lint: no fixtures under %s\n",
+                 fixtures.generic_string().c_str());
+    return 1;
+  }
+  const auto findings = run_scan(files);
+
+  // Expected: every "// LINT-EXPECT: <rule>" marker, on its own line.
+  static const std::regex kExpect("LINT-EXPECT:\\s*([a-z-]+)");
+  std::map<std::pair<std::string, std::string>, std::pair<int, int>> tally;
+  for (const auto& file : files) {
+    for (std::size_t i = 0; i < file.raw.size(); ++i) {
+      std::smatch m;
+      if (std::regex_search(file.raw[i], m, kExpect)) {
+        ++tally[{file.path + ":" + std::to_string(i + 1), m[1].str()}].first;
+      }
+    }
+  }
+  for (const auto& finding : findings) {
+    ++tally[{finding.file + ":" + std::to_string(finding.line),
+             finding.rule}].second;
+  }
+  int failures = 0;
+  for (const auto& [key, counts] : tally) {
+    const auto& [site, rule] = key;
+    const auto& [expected, actual] = counts;
+    if (expected > 0 && actual == 0) {
+      std::fprintf(stderr, "self-test: %s expected [%s], not reported\n",
+                   site.c_str(), rule.c_str());
+      ++failures;
+    } else if (expected == 0 && actual > 0) {
+      std::fprintf(stderr, "self-test: %s unexpected [%s]\n", site.c_str(),
+                   rule.c_str());
+      ++failures;
+    }
+  }
+  std::printf("ctesim-lint self-test: %zu finding(s), %d failure(s)\n",
+              findings.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string allowlist;
+  std::string self_test;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist = argv[++i];
+    } else if (arg == "--self-test" && i + 1 < argc) {
+      self_test = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: ctesim_lint --root <repo> [--allowlist <file>] | "
+                   "--self-test <fixtures>\n");
+      return 2;
+    }
+  }
+  if (!self_test.empty()) return run_self_test(self_test);
+  if (root.empty()) {
+    std::fprintf(stderr, "ctesim-lint: --root (or --self-test) required\n");
+    return 2;
+  }
+  return run_repo(root, allowlist);
+}
