@@ -76,19 +76,20 @@ int main(int argc, char** argv) {
   report::Table table(
       std::string("≥500-job stream, ") + batch::name_of(queue) +
           " queue — placement policy comparison",
-      {"placement", "util", "makespan [h]", "wait mean [s]", "wait p95 [s]",
-       "wait p99 [s]", "bsld mean", "bsld p95", "hops", "slowdown", "frag",
-       "killed"});
+      {"placement", "util", "goodput", "avail", "makespan [h]",
+       "wait mean [s]", "wait p95 [s]", "wait p99 [s]", "bsld mean",
+       "bsld p95", "hops", "slowdown", "frag", "wasted [nh]", "killed"});
   std::unique_ptr<CsvWriter> csv;
   if (!csv_path.empty()) {
     csv = std::make_unique<CsvWriter>(
         csv_path,
         std::vector<std::string>{"placement", "queue", "jobs", "utilization",
+                                 "goodput", "availability", "wasted_node_h",
                                  "makespan_s", "mean_wait_s", "p95_wait_s",
                                  "p99_wait_s", "mean_bsld", "p95_bsld",
                                  "p99_bsld", "mean_hops",
                                  "mean_placement_slowdown", "time_avg_frag",
-                                 "killed"});
+                                 "interrupted", "failed", "killed"});
   }
 
   trace::Recorder recorder(!trace_path.empty());
@@ -109,6 +110,7 @@ int main(int argc, char** argv) {
     const auto m =
         batch::summarize(result, model.machine().num_nodes);
     table.row({sched::name_of(placement), report::fixed(m.utilization, 3),
+               report::fixed(m.goodput, 3), report::fixed(m.availability, 3),
                report::fixed(m.makespan_s / 3600.0, 2),
                report::fixed(m.mean_wait_s, 1),
                report::fixed(m.p95_wait_s, 1),
@@ -118,11 +120,14 @@ int main(int argc, char** argv) {
                report::fixed(m.mean_hops, 2),
                report::fixed(m.mean_placement_slowdown, 3),
                report::fixed(m.time_avg_fragmentation, 3),
+               report::fixed(m.wasted_node_h, 1),
                std::to_string(m.killed)});
     if (csv) {
       csv->row(std::vector<std::string>{
           sched::name_of(placement), batch::name_of(queue),
           std::to_string(m.jobs), report::fixed(m.utilization, 4),
+          report::fixed(m.goodput, 4), report::fixed(m.availability, 4),
+          report::fixed(m.wasted_node_h, 2),
           report::fixed(m.makespan_s, 1), report::fixed(m.mean_wait_s, 2),
           report::fixed(m.p95_wait_s, 2), report::fixed(m.p99_wait_s, 2),
           report::fixed(m.mean_bounded_slowdown, 3),
@@ -131,6 +136,7 @@ int main(int argc, char** argv) {
           report::fixed(m.mean_hops, 3),
           report::fixed(m.mean_placement_slowdown, 4),
           report::fixed(m.time_avg_fragmentation, 4),
+          std::to_string(m.interrupted), std::to_string(m.failed),
           std::to_string(m.killed)});
     }
     if (placement == sched::Policy::kContiguous) {

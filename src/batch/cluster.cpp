@@ -1,11 +1,17 @@
 #include "batch/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
+#include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/time.h"
+#include "fault/validate.h"
+#include "io/filesystem.h"
 #include "trace/recorder.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -16,13 +22,45 @@ namespace {
 
 /// Mix the run seed with the job id so the random placement policy draws an
 /// independent, order-free stream per job (splitmix-style finalizer).
-std::uint64_t placement_seed(std::uint64_t seed, int job_id) {
+/// Retries fold the attempt number in, so a requeued job redraws its nodes.
+std::uint64_t placement_seed(std::uint64_t seed, int job_id, int attempt) {
   std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
                                (static_cast<std::uint64_t>(job_id) + 1);
+  z ^= 0x94d049bb133111ebULL * static_cast<std::uint64_t>(attempt);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
+
+/// Per-job state that survives across attempts (requeues).
+struct JobState {
+  int attempts_started = 0;
+  int interruptions = 0;
+  double done_fraction = 0.0;  ///< checkpoint-preserved share of the work
+  double first_start_s = 0.0;
+  bool ever_started = false;
+  double busy_node_s = 0.0;
+  double useful_node_s = 0.0;
+  double wasted_node_s = 0.0;
+};
+
+/// One attempt of one job, currently holding nodes.
+struct Attempt {
+  Job job;
+  std::vector<int> nodes;  ///< sorted by the allocator
+  double mean_hops = 0.0;
+  double placement_slowdown = 1.0;
+  double start_s = 0.0;
+  double full_runtime_s = 0.0;  ///< whole-job work on this placement
+  double work_s = 0.0;          ///< pure work this attempt must complete
+  double eff_required_s = 0.0;  ///< restart + work + checkpoint writes
+  double eff_done_s = 0.0;      ///< progress on the attempt-duration clock
+  double last_update_s = 0.0;   ///< sim time of the last progress accrual
+  double rate = 1.0;  ///< progress per wall second (degradation slows it)
+  bool restarting = false;
+  fault::CheckpointCost ckpt;
+  std::uint64_t epoch = 0;  ///< invalidates stale completion events
+};
 
 }  // namespace
 
@@ -34,11 +72,23 @@ ClusterResult run_cluster(const RuntimeModel& model,
     CTESIM_EXPECTS(job.nodes >= 1 && job.nodes <= total_nodes);
     CTESIM_EXPECTS(job.arrival_s >= 0.0 && job.walltime_s > 0.0);
   }
+  CTESIM_EXPECTS(options.max_retries >= 0);
+  CTESIM_EXPECTS(options.requeue_backoff_s >= 0.0);
+  fault::validate_or_throw(options.checkpoint);
+  if (options.faults) options.faults->validate_or_throw(total_nodes);
 
   sim::Engine engine;
   sched::Allocator allocator(model.topology());
   JobQueue queue(options.queue, total_nodes);
-  std::vector<Reservation> running;
+  const io::FilesystemModel fs = io::production_filesystem(model.machine());
+
+  std::map<int, Attempt> running;        // job id -> live attempt
+  std::map<int, JobState> job_states;    // job id -> cross-attempt state
+  std::map<int, std::vector<double>> active_degradations;  // node -> factors
+  std::set<int> down_nodes;
+  std::uint64_t next_epoch = 0;
+  double total_wasted_node_s = 0.0;
+  int total_interruptions = 0;
   ClusterResult result;
   result.records.reserve(jobs.size());
 
@@ -46,10 +96,13 @@ ClusterResult run_cluster(const RuntimeModel& model,
   const bool tracing = rec && rec->enabled();
   if (tracing) engine.set_recorder(rec);
 
+  const auto now_s = [&] { return sim::to_seconds(engine.now()); };
+
   const auto sample = [&] {
-    const int busy = total_nodes - allocator.free_nodes();
-    result.frag_timeline.push_back({sim::to_seconds(engine.now()),
-                                    allocator.fragmentation(), busy});
+    const int busy = total_nodes - allocator.free_nodes() -
+                     allocator.drained_count();
+    result.frag_timeline.push_back({now_s(), allocator.fragmentation(), busy,
+                                    allocator.drained_count()});
     if (tracing) {
       const auto track = trace::Track::global();
       const sim::Time now = engine.now();
@@ -63,71 +116,265 @@ ClusterResult run_cluster(const RuntimeModel& model,
                    allocator.fragmentation());
       rec->counter(track, "batch", "running_jobs", now,
                    static_cast<double>(running.size()));
+      rec->counter(track, "fault", "down_nodes", now,
+                   static_cast<double>(down_nodes.size()));
+      rec->counter(track, "fault", "wasted_work", now, total_wasted_node_s);
+      rec->counter(track, "fault", "interrupted_jobs", now,
+                   static_cast<double>(total_interruptions));
     }
   };
 
+  /// Combined receive-degradation factor over an allocation (1 = healthy).
+  const auto combined_factor = [&](const std::vector<int>& nodes) {
+    double factor = 1.0;
+    for (const int n : nodes) {
+      const auto it = active_degradations.find(n);
+      if (it == active_degradations.end()) continue;
+      for (const double f : it->second) factor *= f;
+    }
+    return factor;
+  };
+
+  /// Progress rate of an attempt: degradation inflates the communication
+  /// share of the runtime, exactly like placement scatter does.
+  const auto rate_for = [&](const Attempt& a) {
+    const double f = combined_factor(a.nodes);
+    if (f >= 1.0) return 1.0;
+    const double cf = a.job.profile.comm_fraction;
+    return 1.0 / (1.0 + cf * (1.0 / f - 1.0));
+  };
+
+  const auto accrue = [&](Attempt& a) {
+    const double t = now_s();
+    a.eff_done_s =
+        std::min(a.eff_required_s, a.eff_done_s + a.rate * (t - a.last_update_s));
+    a.last_update_s = t;
+  };
+
+  const auto finalize = [&](const Attempt& a, EndReason reason,
+                            double end_s) {
+    const JobState& st = job_states[a.job.id];
+    JobRecord record;
+    record.job = a.job;
+    record.start_s = a.start_s;
+    record.end_s = end_s;
+    record.alloc_nodes = a.nodes;
+    record.mean_hops = a.mean_hops;
+    record.placement_slowdown = a.placement_slowdown;
+    record.end_reason = reason;
+    record.attempts = st.attempts_started;
+    record.interruptions = st.interruptions;
+    record.first_start_s = st.first_start_s;
+    record.busy_node_s = st.busy_node_s;
+    record.useful_node_s = st.useful_node_s;
+    record.wasted_node_s = st.wasted_node_s;
+    result.records.push_back(record);
+  };
+
   std::function<void()> try_start;
+
+  /// Schedule (or re-schedule after a rate change) the end of an attempt:
+  /// completion when the remaining progress fits the wall-time budget, a
+  /// wall-time kill otherwise. Stale events are voided by the epoch.
+  const auto schedule_attempt_end = [&](Attempt& a) {
+    a.epoch = ++next_epoch;
+    const double t = now_s();
+    const double remaining = (a.eff_required_s - a.eff_done_s) / a.rate;
+    // (start - t) + walltime, not (start + walltime) - t: at t == start the
+    // former is exactly the wall-time request, bit-for-bit.
+    const double until_kill = (a.start_s - t) + a.job.walltime_s;
+    const bool killed = remaining > until_kill;
+    engine.schedule_in(
+        sim::from_seconds(std::max(0.0, killed ? until_kill : remaining)),
+        [&, id = a.job.id, epoch = a.epoch, killed] {
+          const auto it = running.find(id);
+          if (it == running.end() || it->second.epoch != epoch) return;
+          Attempt& att = it->second;
+          accrue(att);
+          JobState& st = job_states[id];
+          const double end = now_s();
+          const double elapsed = end - att.start_s;
+          st.busy_node_s += elapsed * att.job.nodes;
+          if (killed) {
+            st.wasted_node_s += elapsed * att.job.nodes;
+            total_wasted_node_s += elapsed * att.job.nodes;
+            CTESIM_WARN << "batch: job " << id << " wall-time killed at "
+                        << att.job.walltime_s << " s (needed "
+                        << att.eff_required_s << " s, overran its request by "
+                        << 100.0 * (att.eff_required_s / att.job.walltime_s -
+                                    1.0)
+                        << "%)";
+          } else {
+            st.useful_node_s += att.work_s * att.job.nodes;
+          }
+          if (tracing) {
+            const auto track = trace::Track::job(id);
+            rec->end(track, engine.now());  // closes the "run" span
+            rec->instant(track, "batch", killed ? "killed" : "finish", "",
+                         engine.now());
+          }
+          finalize(att, killed ? EndReason::kWalltimeKilled
+                               : EndReason::kCompleted,
+                   end);
+          allocator.release(static_cast<std::uint64_t>(id));
+          running.erase(it);
+          sample();
+          try_start();
+        });
+  };
+
   try_start = [&] {
     while (true) {
-      const double now_s = sim::to_seconds(engine.now());
+      const double t = now_s();
+      std::vector<Reservation> reservations;
+      reservations.reserve(running.size());
+      for (const auto& [id, a] : running) {
+        reservations.push_back({id, a.start_s + a.job.walltime_s,
+                                a.job.nodes});
+      }
       const int pos =
-          queue.next_startable(now_s, allocator.free_nodes(), running);
+          queue.next_startable(t, allocator.free_nodes(), reservations);
       if (pos < 0) break;
       const Job job = queue.pop(pos);
+      JobState& st = job_states[job.id];
       const auto nodes = allocator.allocate(
           static_cast<std::uint64_t>(job.id), job.nodes, options.placement,
-          placement_seed(options.seed, job.id));
+          placement_seed(options.seed, job.id, st.attempts_started));
       CTESIM_ENSURES(static_cast<int>(nodes.size()) == job.nodes);
 
-      JobRecord record;
-      record.job = job;
-      record.start_s = now_s;
-      record.alloc_nodes = nodes;
-      record.mean_hops = allocator.mean_pairwise_hops(nodes);
-      record.placement_slowdown = model.slowdown(job, record.mean_hops);
-      const double modeled = model.runtime(job, record.mean_hops);
-      const bool killed = modeled > job.walltime_s;
-      const double actual = killed ? job.walltime_s : modeled;
-      record.end_s = now_s + actual;
-      record.end_reason =
-          killed ? EndReason::kWalltimeKilled : EndReason::kCompleted;
-      result.records.push_back(record);
+      Attempt a;
+      a.job = job;
+      a.nodes = nodes;
+      a.start_s = t;
+      a.last_update_s = t;
+      a.mean_hops = allocator.mean_pairwise_hops(nodes);
+      a.placement_slowdown = model.slowdown(job, a.mean_hops);
+      a.full_runtime_s = model.runtime(job, a.mean_hops);
+      a.work_s = (1.0 - st.done_fraction) * a.full_runtime_s;
+      a.ckpt = fault::resolve(options.checkpoint, fs, job.nodes);
+      a.restarting = st.attempts_started > 0;
+      a.eff_required_s =
+          fault::attempt_duration(a.work_s, a.ckpt, a.restarting);
+      a.rate = rate_for(a);
+      if (!st.ever_started) {
+        st.ever_started = true;
+        st.first_start_s = t;
+      }
+      ++st.attempts_started;
 
       if (tracing) {
         const auto track = trace::Track::job(job.id);
         rec->end(track, engine.now());  // closes the "queued" span
         rec->begin(track, "batch", "run",
                    std::string(job.profile.name) + " " +
-                       std::to_string(job.nodes) + " nodes",
+                       std::to_string(job.nodes) + " nodes" +
+                       (a.restarting ? " (retry)" : ""),
                    engine.now());
       }
-      running.push_back(
-          {job.id, now_s + job.walltime_s, job.nodes});
-      engine.schedule_in(
-          sim::from_seconds(actual),
-          [&, id = job.id, killed, modeled,
-           walltime = job.walltime_s] {
-            if (killed) {
-              CTESIM_WARN << "batch: job " << id << " wall-time killed at "
-                          << walltime << " s (needed " << modeled
-                          << " s, overran its request by "
-                          << 100.0 * (modeled / walltime - 1.0) << "%)";
-            }
-            if (tracing) {
-              const auto track = trace::Track::job(id);
-              rec->end(track, engine.now());  // closes the "run" span
-              rec->instant(track, "batch", killed ? "killed" : "finish", "",
-                           engine.now());
-            }
-            allocator.release(static_cast<std::uint64_t>(id));
-            running.erase(std::find_if(running.begin(), running.end(),
-                                       [id](const Reservation& r) {
-                                         return r.job_id == id;
-                                       }));
-            sample();
-            try_start();
-          });
+      Attempt& placed = running.emplace(job.id, std::move(a)).first->second;
+      schedule_attempt_end(placed);
       sample();
+    }
+  };
+
+  /// A node died: interrupt its job (restart from the last checkpoint,
+  /// requeue within the retry budget) and drain the node from service.
+  const auto handle_node_fail = [&](int node) {
+    const double t = now_s();
+    int victim = -1;
+    for (const auto& [id, a] : running) {
+      if (std::binary_search(a.nodes.begin(), a.nodes.end(), node)) {
+        victim = id;
+        break;
+      }
+    }
+    if (victim >= 0) {
+      Attempt& a = running.find(victim)->second;
+      accrue(a);
+      JobState& st = job_states[victim];
+      const double preserved = fault::preserved_work(a.eff_done_s, a.work_s,
+                                                     a.ckpt, a.restarting);
+      const double elapsed = t - a.start_s;
+      st.busy_node_s += elapsed * a.job.nodes;
+      st.useful_node_s += preserved * a.job.nodes;
+      st.wasted_node_s += (elapsed - preserved) * a.job.nodes;
+      total_wasted_node_s += (elapsed - preserved) * a.job.nodes;
+      st.done_fraction += preserved / a.full_runtime_s;
+      ++st.interruptions;
+      ++total_interruptions;
+      if (tracing) {
+        const auto track = trace::Track::job(victim);
+        rec->end(track, engine.now());  // closes the "run" span
+        rec->instant(track, "fault", "node_failure",
+                     "node " + std::to_string(node), engine.now());
+      }
+      const Job job = a.job;
+      allocator.release(static_cast<std::uint64_t>(victim));
+      if (st.attempts_started > options.max_retries) {
+        finalize(a, EndReason::kNodeFailure, t);
+        running.erase(victim);
+      } else {
+        running.erase(victim);
+        engine.schedule_in(sim::from_seconds(options.requeue_backoff_s),
+                           [&, job] {
+                             if (tracing) {
+                               const auto track = trace::Track::job(job.id);
+                               rec->instant(track, "fault", "requeue", "",
+                                            engine.now());
+                               rec->begin(track, "batch", "queued",
+                                          job.profile.name, engine.now());
+                             }
+                             queue.push(job);
+                             try_start();
+                           });
+      }
+    }
+    allocator.drain(node);
+    down_nodes.insert(node);
+    if (tracing) {
+      const auto track = trace::Track::node(node);
+      rec->instant(track, "fault", "fail", "", engine.now());
+      rec->begin(track, "fault", "down", "", engine.now());
+    }
+    sample();
+  };
+
+  const auto handle_node_repair = [&](int node) {
+    allocator.return_to_service(node);
+    down_nodes.erase(node);
+    if (tracing) {
+      const auto track = trace::Track::node(node);
+      rec->end(track, engine.now());  // closes the "down" span
+      rec->instant(track, "fault", "repair", "", engine.now());
+    }
+    sample();
+    try_start();
+  };
+
+  /// A degradation window opened or closed on `node`: recompute the
+  /// progress rate of the job holding it (if any) and reschedule its end.
+  const auto handle_degradation = [&](int node, double factor, bool start) {
+    auto& factors = active_degradations[node];
+    if (start) {
+      factors.push_back(factor);
+    } else {
+      const auto it = std::find(factors.begin(), factors.end(), factor);
+      CTESIM_EXPECTS(it != factors.end());
+      factors.erase(it);
+    }
+    if (tracing) {
+      rec->instant(trace::Track::node(node), "fault",
+                   start ? "degrade_start" : "degrade_end",
+                   std::to_string(factor), engine.now());
+    }
+    for (auto& [id, a] : running) {
+      if (!std::binary_search(a.nodes.begin(), a.nodes.end(), node)) {
+        continue;
+      }
+      accrue(a);
+      a.rate = rate_for(a);
+      schedule_attempt_end(a);
+      break;
     }
   };
 
@@ -143,9 +390,52 @@ ClusterResult run_cluster(const RuntimeModel& model,
       try_start();
     });
   }
+  if (options.faults) {
+    for (const fault::FaultEvent& e : options.faults->events()) {
+      engine.schedule_at(sim::from_seconds(e.time_s), [&, e] {
+        switch (e.kind) {
+          case fault::FaultKind::kNodeFail:
+            handle_node_fail(e.node);
+            break;
+          case fault::FaultKind::kNodeRepair:
+            handle_node_repair(e.node);
+            break;
+          case fault::FaultKind::kDegradeStart:
+            handle_degradation(e.node, e.factor, true);
+            break;
+          case fault::FaultKind::kDegradeEnd:
+            handle_degradation(e.node, e.factor, false);
+            break;
+        }
+      });
+    }
+  }
   engine.run();
-  CTESIM_ENSURES(queue.empty());
   CTESIM_ENSURES(running.empty());
+
+  // Jobs still queued when every event has drained can never run: the
+  // failed (and never repaired) part of the machine left too few in-service
+  // nodes. They end as node-failure casualties at the final time.
+  while (!queue.empty()) {
+    const Job job = queue.pop(0);
+    const double t = now_s();
+    if (tracing) {
+      const auto track = trace::Track::job(job.id);
+      rec->end(track, engine.now());  // closes the "queued" span
+      rec->instant(track, "fault", "abandoned", "machine too small",
+                   engine.now());
+    }
+    Attempt a;
+    a.job = job;
+    a.start_s = t;
+    finalize(a, EndReason::kNodeFailure, t);
+  }
+  // Close the "down" span of nodes that never came back.
+  if (tracing) {
+    for (const int node : down_nodes) {
+      rec->end(trace::Track::node(node), engine.now());
+    }
+  }
   CTESIM_ENSURES(result.records.size() == jobs.size());
 
   std::sort(result.records.begin(), result.records.end(),

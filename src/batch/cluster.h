@@ -7,6 +7,14 @@
 // schedules each job's completion at its modeled (placement-dependent)
 // runtime, capped by the wall-time limit. Fragmentation is sampled at every
 // state change, giving the free-space timeline the metrics summarize.
+//
+// With a fault timeline the run becomes self-healing: failed nodes are
+// drained from the allocator (and returned on repair), a job that loses a
+// node is interrupted, restarts from its last checkpoint (see
+// fault/checkpoint.h) and is requeued with a retry limit and backoff;
+// degradation windows slow the communication share of affected jobs while
+// they last. Everything stays deterministic: identical inputs (including
+// the fault script) replay identically, byte for byte in the trace.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +23,8 @@
 #include "batch/job.h"
 #include "batch/queue.h"
 #include "batch/runtime.h"
+#include "fault/checkpoint.h"
+#include "fault/fault.h"
 #include "sched/allocator.h"
 
 namespace ctesim::trace {
@@ -28,18 +38,34 @@ struct ClusterOptions {
   QueuePolicy queue = QueuePolicy::kEasyBackfill;
   std::uint64_t seed = 1;  ///< placement seed stream (random policy)
   /// When set, the run streams observability events into this recorder:
-  /// per-job "queued"/"run" spans and submit/finish/killed instants on
-  /// trace::Track::job(id), plus queue_depth / busy_nodes / utilization /
-  /// fragmentation counters on the global track (category "batch"). Export
-  /// with trace::write_chrome_trace. Must outlive run_cluster().
+  /// per-job "queued"/"run" spans and submit/finish/killed/node_failure
+  /// instants on trace::Track::job(id), per-node "down" spans on
+  /// trace::Track::node(n), plus queue_depth / busy_nodes / utilization /
+  /// fragmentation / down_nodes / wasted_work counters on the global
+  /// track. Export with trace::write_chrome_trace. Must outlive
+  /// run_cluster().
   trace::Recorder* recorder = nullptr;
+
+  // --- resilience ---------------------------------------------------------
+  /// Operational fault script (failures, repairs, degradation windows);
+  /// nullptr = the fault-free machine of the plain throughput study. Must
+  /// outlive run_cluster() and validate() cleanly for the machine size.
+  const fault::FaultTimeline* faults = nullptr;
+  /// Checkpoint/restart policy applied to every job (disabled by default).
+  fault::CheckpointPolicy checkpoint;
+  /// Requeues a job interrupted by node failures may consume before it is
+  /// abandoned with EndReason::kNodeFailure.
+  int max_retries = 3;
+  /// Delay before an interrupted job re-enters the queue, seconds.
+  double requeue_backoff_s = 10.0;
 };
 
-/// Machine state right after a job started or finished.
+/// Machine state right after a job started or finished, or a fault event.
 struct FragSample {
   double time_s = 0.0;
   double fragmentation = 0.0;  ///< sched::Allocator::fragmentation()
   int busy_nodes = 0;
+  int down_nodes = 0;  ///< drained (failed) nodes at this instant
 };
 
 struct ClusterResult {

@@ -41,9 +41,15 @@ struct Job {
 enum class EndReason {
   kCompleted,
   kWalltimeKilled,  ///< hit the requested limit before finishing
+  kNodeFailure,     ///< lost a node and exhausted its requeue budget
 };
 
-/// Per-job outcome, filled by run_cluster().
+const char* name_of(EndReason reason);
+
+/// Per-job outcome, filled by run_cluster(). With the resilience layer a
+/// job may run several attempts (interrupted by node failures, requeued,
+/// restarted from its last checkpoint); start/end and the placement fields
+/// describe the FINAL attempt, the resilience fields aggregate all of them.
 struct JobRecord {
   Job job;
   double start_s = 0.0;
@@ -52,6 +58,19 @@ struct JobRecord {
   double mean_hops = 0.0;         ///< scatter of the allocation
   double placement_slowdown = 1.0;  ///< runtime factor from scatter
   EndReason end_reason = EndReason::kCompleted;
+
+  // --- resilience accounting (all attempts) -------------------------------
+  int attempts = 1;            ///< attempts started (0: never got to run)
+  int interruptions = 0;       ///< attempts cut short by node failures
+  double first_start_s = 0.0;  ///< start of the first attempt
+  /// Node-seconds the job held over every attempt (busy time).
+  double busy_node_s = 0.0;
+  /// Node-seconds of work that counted: checkpoint-preserved work of
+  /// interrupted attempts plus the final completed attempt's work.
+  double useful_node_s = 0.0;
+  /// Node-seconds lost: unpreserved work and overheads of interrupted
+  /// attempts, the whole of a wall-time-killed attempt.
+  double wasted_node_s = 0.0;
 
   /// Floored at 0: sub-picosecond engine rounding must not produce -0.0.
   double wait_s() const {

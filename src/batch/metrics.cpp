@@ -7,6 +7,18 @@
 
 namespace ctesim::batch {
 
+const char* name_of(EndReason reason) {
+  switch (reason) {
+    case EndReason::kCompleted:
+      return "completed";
+    case EndReason::kWalltimeKilled:
+      return "walltime_killed";
+    case EndReason::kNodeFailure:
+      return "node_failure";
+  }
+  return "?";
+}
+
 ClusterMetrics summarize(const ClusterResult& result, int total_nodes,
                          double tau_s) {
   CTESIM_EXPECTS(total_nodes >= 1);
@@ -16,20 +28,43 @@ ClusterMetrics summarize(const ClusterResult& result, int total_nodes,
   if (result.records.empty()) return m;
 
   double busy_node_s = 0.0;
+  double useful_node_s = 0.0;
+  double wasted_node_s = 0.0;
+  double attempts = 0.0;
   std::vector<double> waits, slowdowns;
   waits.reserve(result.records.size());
   slowdowns.reserve(result.records.size());
   RunningStats hops, placement;
   for (const JobRecord& r : result.records) {
     if (r.end_reason == EndReason::kWalltimeKilled) ++m.killed;
-    busy_node_s += static_cast<double>(r.job.nodes) * r.runtime_s();
+    if (r.end_reason == EndReason::kNodeFailure) ++m.failed;
+    if (r.interruptions > 0) ++m.interrupted;
+    attempts += r.attempts;
+    if (r.busy_node_s > 0.0) {
+      busy_node_s += r.busy_node_s;
+      useful_node_s += r.useful_node_s;
+      wasted_node_s += r.wasted_node_s;
+    } else {
+      // Legacy / hand-built record with no resilience accounting: the one
+      // recorded run is the busy time, useful iff it completed.
+      const double node_s = static_cast<double>(r.job.nodes) * r.runtime_s();
+      busy_node_s += node_s;
+      if (r.end_reason == EndReason::kCompleted) {
+        useful_node_s += node_s;
+      } else {
+        wasted_node_s += node_s;
+      }
+    }
     waits.push_back(r.wait_s());
     slowdowns.push_back(r.bounded_slowdown(tau_s));
     hops.add(r.mean_hops);
     placement.add(r.placement_slowdown);
   }
+  m.mean_attempts = attempts / static_cast<double>(result.records.size());
+  m.wasted_node_h = wasted_node_s / 3600.0;
   if (m.makespan_s > 0.0) {
     m.utilization = busy_node_s / (total_nodes * m.makespan_s);
+    m.goodput = useful_node_s / (total_nodes * m.makespan_s);
   }
   RunningStats wait_stats, sld_stats;
   for (double w : waits) wait_stats.add(w);
@@ -43,16 +78,21 @@ ClusterMetrics summarize(const ClusterResult& result, int total_nodes,
   m.mean_hops = hops.mean();
   m.mean_placement_slowdown = placement.mean();
 
-  // Piecewise-constant time average: each sample holds until the next.
+  // Piecewise-constant time averages: each sample holds until the next.
   const auto& frag = result.frag_timeline;
   if (frag.size() >= 2) {
-    double integral = 0.0;
+    double frag_integral = 0.0;
+    double down_integral = 0.0;
     for (std::size_t i = 0; i + 1 < frag.size(); ++i) {
-      integral += frag[i].fragmentation *
-                  (frag[i + 1].time_s - frag[i].time_s);
+      const double dt = frag[i + 1].time_s - frag[i].time_s;
+      frag_integral += frag[i].fragmentation * dt;
+      down_integral += frag[i].down_nodes * dt;
     }
     const double span = frag.back().time_s - frag.front().time_s;
-    if (span > 0.0) m.time_avg_fragmentation = integral / span;
+    if (span > 0.0) {
+      m.time_avg_fragmentation = frag_integral / span;
+      m.availability = 1.0 - down_integral / (span * total_nodes);
+    }
   }
   return m;
 }

@@ -12,6 +12,21 @@ struct ClusterMetrics {
   double makespan_s = 0.0;
   /// Busy node-seconds / (total nodes × makespan).
   double utilization = 0.0;
+
+  // --- resilience (all zero/one on a fault-free run) ----------------------
+  int interrupted = 0;  ///< jobs with at least one node-failure interruption
+  int failed = 0;       ///< jobs that ended as EndReason::kNodeFailure
+  double mean_attempts = 1.0;  ///< attempts per job (1 = no requeues)
+  /// Useful node-seconds / (total nodes × makespan): the share of machine
+  /// capacity that produced completed or checkpoint-preserved work. Equals
+  /// utilization on a fault-free run with no kills.
+  double goodput = 0.0;
+  /// Node-hours burned without result: unpreserved work of interrupted
+  /// attempts plus whole wall-time-killed attempts.
+  double wasted_node_h = 0.0;
+  /// Time-averaged in-service fraction of the machine (1 = never lost a
+  /// node), from the down_nodes samples in the fragmentation timeline.
+  double availability = 1.0;
   double mean_wait_s = 0.0;
   double p95_wait_s = 0.0;
   double p99_wait_s = 0.0;

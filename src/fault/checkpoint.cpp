@@ -1,0 +1,86 @@
+#include "fault/checkpoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ctesim::fault {
+
+double checkpoint_write_seconds(const io::FilesystemModel& fs,
+                                double state_bytes_per_node, int nodes) {
+  CTESIM_EXPECTS(state_bytes_per_node >= 0.0);
+  CTESIM_EXPECTS(nodes >= 1);
+  if (state_bytes_per_node <= 0.0) return 0.0;
+  const auto total =
+      static_cast<std::uint64_t>(state_bytes_per_node * nodes);
+  return fs.parallel_write_seconds(total, nodes);
+}
+
+double young_daly_interval(double write_s, double mtbf_s) {
+  CTESIM_EXPECTS(write_s > 0.0);
+  CTESIM_EXPECTS(mtbf_s > 0.0);
+  return std::sqrt(2.0 * write_s * mtbf_s);
+}
+
+CheckpointCost resolve(const CheckpointPolicy& policy,
+                       const io::FilesystemModel& fs, int nodes) {
+  CTESIM_EXPECTS(nodes >= 1);
+  CheckpointCost cost;
+  if (!policy.enabled()) return cost;
+  if (policy.write_bw > 0.0) {
+    cost.write_s = policy.state_bytes_per_node * nodes / policy.write_bw;
+  } else {
+    cost.write_s =
+        checkpoint_write_seconds(fs, policy.state_bytes_per_node, nodes);
+  }
+  cost.restart_s = policy.restart_s;
+  if (policy.young_daly) {
+    CTESIM_EXPECTS(policy.node_mtbf_s > 0.0);
+    // The job's MTBF shrinks with its node count: any of its nodes dying
+    // kills the attempt.
+    const double job_mtbf = policy.node_mtbf_s / nodes;
+    // A free checkpoint (no state) has no meaningful optimum; fall back to
+    // a vanishing interval cost by checkpointing every job anyway.
+    cost.interval_s = cost.write_s > 0.0
+                          ? young_daly_interval(cost.write_s, job_mtbf)
+                          : policy.interval_s;
+  } else {
+    cost.interval_s = policy.interval_s;
+  }
+  return cost;
+}
+
+int checkpoints_for(double work_s, const CheckpointCost& cost) {
+  CTESIM_EXPECTS(work_s >= 0.0);
+  if (!cost.enabled() || work_s <= cost.interval_s) return 0;
+  // One checkpoint after each full interval; the last work segment ends at
+  // completion, which needs no checkpoint.
+  return static_cast<int>(std::ceil(work_s / cost.interval_s)) - 1;
+}
+
+double attempt_duration(double work_s, const CheckpointCost& cost,
+                        bool restarting) {
+  CTESIM_EXPECTS(work_s >= 0.0);
+  const double restart = restarting ? cost.restart_s : 0.0;
+  return restart + work_s + checkpoints_for(work_s, cost) * cost.write_s;
+}
+
+double preserved_work(double elapsed_s, double work_s,
+                      const CheckpointCost& cost, bool restarting) {
+  CTESIM_EXPECTS(elapsed_s >= 0.0);
+  CTESIM_EXPECTS(work_s >= 0.0);
+  if (!cost.enabled()) return 0.0;
+  const double restart = restarting ? cost.restart_s : 0.0;
+  const double into_work = elapsed_s - restart;
+  if (into_work <= 0.0) return 0.0;
+  // Checkpoint j completes at j * (interval + write) on the attempt clock.
+  const double cycle = cost.interval_s + cost.write_s;
+  const int completed = static_cast<int>(std::floor(into_work / cycle));
+  const int cap = checkpoints_for(work_s, cost);
+  const double preserved =
+      std::min(completed, cap) * cost.interval_s;
+  return std::min(preserved, work_s);
+}
+
+}  // namespace ctesim::fault

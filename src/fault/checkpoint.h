@@ -1,0 +1,81 @@
+// Checkpoint/restart cost model and the Young/Daly optimal-interval helper.
+//
+// A checkpointing job alternates `interval_s` seconds of useful work with a
+// checkpoint write whose cost flows through the parallel-filesystem model
+// (io::FilesystemModel — every node of the job writes its state slice,
+// MPI-IO style, limited by the OST pool and the NIC injection bandwidth).
+// On a node failure the job restarts from its last completed checkpoint:
+// only the work since that checkpoint (plus the in-progress write) is
+// lost. Young ('74) / Daly ('06) give the first-order optimal interval
+// sqrt(2 * C * M) for write cost C and per-job MTBF M — the sweet spot
+// bench/resilience_study sweeps across.
+#pragma once
+
+#include "io/filesystem.h"
+
+namespace ctesim::fault {
+
+/// Cluster-wide checkpointing policy, applied per job by the batch runtime.
+struct CheckpointPolicy {
+  /// Useful-work seconds between checkpoints. 0 disables checkpointing;
+  /// ignored when `young_daly` is set.
+  double interval_s = 0.0;
+  /// Derive each job's interval from Young/Daly using its own write cost
+  /// and per-job MTBF (node_mtbf_s / job nodes). Requires node_mtbf_s > 0.
+  bool young_daly = false;
+  /// One node's MTBF in seconds (only consulted when young_daly is set).
+  double node_mtbf_s = 0.0;
+  /// Checkpoint state each node writes, bytes. 0 makes checkpoints free.
+  double state_bytes_per_node = 0.0;
+  /// Aggregate write bandwidth override, bytes/s for the whole job. 0
+  /// derives the cost from the filesystem model instead (the normal path).
+  double write_bw = 0.0;
+  /// Fixed restart overhead a retry pays before resuming (reload the
+  /// checkpoint, relaunch), seconds.
+  double restart_s = 0.0;
+
+  bool enabled() const { return young_daly || interval_s > 0.0; }
+};
+
+/// Per-job checkpoint parameters resolved from the policy: the work
+/// interval and the cost of one checkpoint write for this job size.
+struct CheckpointCost {
+  double interval_s = 0.0;  ///< 0 = checkpointing off for this job
+  double write_s = 0.0;
+  double restart_s = 0.0;
+
+  bool enabled() const { return interval_s > 0.0; }
+};
+
+/// One checkpoint's write time for a job on `nodes` nodes: every node
+/// writes `state_bytes_per_node` in parallel through `fs`.
+double checkpoint_write_seconds(const io::FilesystemModel& fs,
+                                double state_bytes_per_node, int nodes);
+
+/// First-order optimal checkpoint interval sqrt(2 * write_s * mtbf_s)
+/// (Young/Daly). Requires both arguments > 0.
+double young_daly_interval(double write_s, double mtbf_s);
+
+/// Resolve the policy for one job: compute the write cost (through `fs`
+/// unless the policy overrides the bandwidth) and the interval (fixed or
+/// per-job Young/Daly with MTBF node_mtbf_s / nodes).
+CheckpointCost resolve(const CheckpointPolicy& policy,
+                       const io::FilesystemModel& fs, int nodes);
+
+/// Checkpoints a span of `work_s` useful seconds needs: one after every
+/// full interval except a final one that would coincide with completion.
+int checkpoints_for(double work_s, const CheckpointCost& cost);
+
+/// Wall-clock duration of an attempt that must complete `work_s` useful
+/// seconds: restart overhead (`restarting` attempts only) + work +
+/// checkpoint writes.
+double attempt_duration(double work_s, const CheckpointCost& cost,
+                        bool restarting);
+
+/// Useful work preserved when an attempt dies `elapsed_s` seconds in (by
+/// the attempt_duration clock): the work covered by the last checkpoint
+/// that completed before the failure. Without checkpointing: 0.
+double preserved_work(double elapsed_s, double work_s,
+                      const CheckpointCost& cost, bool restarting);
+
+}  // namespace ctesim::fault

@@ -1,0 +1,91 @@
+#include "fault/mtbf.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ctesim::fault {
+
+namespace {
+
+/// splitmix-style finalizer: decorrelates the per-node child seeds so node
+/// k's stream is independent of node k+1's regardless of generation order.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t node,
+                       std::uint64_t salt) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (node + 1) +
+                    0xbf58476d1ce4e5b9ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Exponential draw with the given mean; uniform() is in [0, 1) so the log
+/// argument stays strictly positive.
+double sample_exponential(double mean, Rng& rng) {
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+}  // namespace
+
+double sample_time_to_failure(const FailureSpec& spec, Rng& rng) {
+  CTESIM_EXPECTS(spec.mtbf_s > 0.0);
+  if (spec.dist == FailureSpec::Dist::kExponential) {
+    return sample_exponential(spec.mtbf_s, rng);
+  }
+  CTESIM_EXPECTS(spec.weibull_shape > 0.0);
+  // Mean-preserving scale: E[Weibull(k, lambda)] = lambda * Gamma(1 + 1/k).
+  const double k = spec.weibull_shape;
+  const double scale = spec.mtbf_s / std::tgamma(1.0 + 1.0 / k);
+  const double u = rng.uniform();
+  return scale * std::pow(-std::log(1.0 - u), 1.0 / k);
+}
+
+FaultTimeline generate_timeline(const FaultModel& model, int num_nodes,
+                                double horizon_s, std::uint64_t seed) {
+  CTESIM_EXPECTS(num_nodes >= 1);
+  CTESIM_EXPECTS(horizon_s >= 0.0);
+  const FailureSpec& fs = model.node_failure;
+  const DegradationSpec& ds = model.link_degradation;
+  CTESIM_EXPECTS(fs.mtbf_s >= 0.0 && fs.mean_repair_s >= 0.0);
+  CTESIM_EXPECTS(ds.mtbd_s >= 0.0 && ds.mean_duration_s >= 0.0);
+  if (ds.mtbd_s > 0.0) {
+    CTESIM_EXPECTS(ds.factor_min > 0.0 && ds.factor_min <= ds.factor_max &&
+                   ds.factor_max <= 1.0);
+  }
+
+  FaultTimeline timeline;
+  for (int node = 0; node < num_nodes; ++node) {
+    if (fs.mtbf_s > 0.0) {
+      Rng rng(mix_seed(seed, static_cast<std::uint64_t>(node), 0x0f));
+      double t = 0.0;
+      while (true) {
+        t += sample_time_to_failure(fs, rng);
+        if (t >= horizon_s) break;
+        timeline.fail(t, node);
+        if (fs.mean_repair_s <= 0.0) break;  // permanent drain
+        t += sample_exponential(fs.mean_repair_s, rng);
+        if (t >= horizon_s) break;  // still down at the horizon
+        timeline.repair(t, node);
+      }
+    }
+    if (ds.mtbd_s > 0.0 && ds.mean_duration_s > 0.0) {
+      Rng rng(mix_seed(seed, static_cast<std::uint64_t>(node), 0xd7));
+      double t = 0.0;
+      while (true) {
+        t += sample_exponential(ds.mtbd_s, rng);
+        if (t >= horizon_s) break;
+        const double duration = sample_exponential(ds.mean_duration_s, rng);
+        const double factor = rng.uniform(ds.factor_min, ds.factor_max);
+        const double end = t + duration;
+        if (end > t) {
+          timeline.degrade_recv(t, end, node,
+                                factor > 0.0 ? factor : ds.factor_min);
+        }
+        t = end;
+      }
+    }
+  }
+  return timeline;
+}
+
+}  // namespace ctesim::fault

@@ -1,0 +1,67 @@
+// Stochastic failure models: seeded, engine-clock-only generators that turn
+// MTBF-style reliability parameters into a concrete FaultTimeline.
+//
+// Each node (and each node's receive path) gets an independent xoshiro
+// stream derived from (seed, node, salt), so the generated script does not
+// depend on generation order and two runs with the same seed are
+// bit-identical — the determinism contract every ctesim result obeys. No
+// wall clock, no global RNG: simulated operational chance is still part of
+// the reproducible experiment.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault.h"
+#include "util/rng.h"
+
+namespace ctesim::fault {
+
+/// Time-to-failure distribution of one node, plus its repair process.
+struct FailureSpec {
+  enum class Dist {
+    kExponential,  ///< memoryless (constant hazard)
+    kWeibull,      ///< shape < 1: infant mortality; > 1: wear-out
+  };
+
+  Dist dist = Dist::kExponential;
+  /// Mean time between failures of ONE node, seconds. 0 disables failures.
+  double mtbf_s = 0.0;
+  /// Weibull shape k (used when dist == kWeibull; 1 reduces to
+  /// exponential). The scale is derived so the mean stays mtbf_s.
+  double weibull_shape = 1.0;
+  /// Mean repair time (exponential), seconds. 0 means failed nodes never
+  /// return — a permanent drain.
+  double mean_repair_s = 0.0;
+};
+
+/// Transient receive-path degradation process of one node (the
+/// time-varying generalization of the paper's arms0b1-11c weak receiver).
+struct DegradationSpec {
+  /// Mean time between degradation onsets per node, seconds. 0 disables.
+  double mtbd_s = 0.0;
+  /// Mean degradation duration (exponential), seconds.
+  double mean_duration_s = 0.0;
+  /// Bandwidth factor drawn uniformly from [factor_min, factor_max],
+  /// each in (0, 1].
+  double factor_min = 0.3;
+  double factor_max = 0.9;
+};
+
+struct FaultModel {
+  FailureSpec node_failure;
+  DegradationSpec link_degradation;
+};
+
+/// Draw one time-to-failure from `spec` (exponential or mean-preserving
+/// Weibull). Exposed for the distribution property tests.
+double sample_time_to_failure(const FailureSpec& spec, Rng& rng);
+
+/// Generate the fault script for `num_nodes` nodes over [0, horizon_s):
+/// per node, alternating fail/repair events from the failure spec and
+/// degradation windows from the degradation spec. Identical (model,
+/// num_nodes, horizon, seed) produce identical timelines on every
+/// platform.
+FaultTimeline generate_timeline(const FaultModel& model, int num_nodes,
+                                double horizon_s, std::uint64_t seed);
+
+}  // namespace ctesim::fault

@@ -1,0 +1,151 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/network.h"
+#include "util/check.h"
+
+namespace ctesim::fault {
+
+const char* name_of(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeFail:
+      return "node_fail";
+    case FaultKind::kNodeRepair:
+      return "node_repair";
+    case FaultKind::kDegradeStart:
+      return "degrade_start";
+    case FaultKind::kDegradeEnd:
+      return "degrade_end";
+  }
+  return "?";
+}
+
+void FaultTimeline::fail(double time_s, int node) {
+  CTESIM_EXPECTS(time_s >= 0.0);
+  CTESIM_EXPECTS(node >= 0);
+  events_.push_back({time_s, FaultKind::kNodeFail, node, 1.0});
+  sorted_ = false;
+}
+
+void FaultTimeline::repair(double time_s, int node) {
+  CTESIM_EXPECTS(time_s >= 0.0);
+  CTESIM_EXPECTS(node >= 0);
+  events_.push_back({time_s, FaultKind::kNodeRepair, node, 1.0});
+  sorted_ = false;
+}
+
+void FaultTimeline::degrade_recv(double start_s, double end_s, int node,
+                                 double factor) {
+  CTESIM_EXPECTS(start_s >= 0.0 && end_s > start_s);
+  CTESIM_EXPECTS(node >= 0);
+  CTESIM_EXPECTS(factor > 0.0 && factor <= 1.0);
+  events_.push_back({start_s, FaultKind::kDegradeStart, node, factor});
+  if (std::isfinite(end_s)) {
+    events_.push_back({end_s, FaultKind::kDegradeEnd, node, factor});
+  }
+  sorted_ = false;
+}
+
+const std::vector<FaultEvent>& FaultTimeline::events() const {
+  if (!sorted_) {
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.time_s < b.time_s;
+                     });
+    sorted_ = true;
+  }
+  return events_;
+}
+
+double FaultTimeline::horizon_s() const {
+  return events_.empty() ? 0.0 : events().back().time_s;
+}
+
+std::vector<std::string> FaultTimeline::validate(int num_nodes) const {
+  std::vector<std::string> problems;
+  const auto note = [&problems](const FaultEvent& e, const std::string& why) {
+    std::ostringstream os;
+    os << "fault.timeline: " << name_of(e.kind) << " at " << e.time_s
+       << " s on node " << e.node << ": " << why;
+    problems.push_back(os.str());
+  };
+  // Per-node state machines: up/down for failures, a multiset of open
+  // windows for degradations.
+  std::map<int, bool> down;
+  std::map<int, int> open_windows;
+  for (const FaultEvent& e : events()) {
+    if (e.node < 0 || e.node >= num_nodes) {
+      note(e, "node outside [0, " + std::to_string(num_nodes) + ")");
+      continue;
+    }
+    if (e.time_s < 0.0) note(e, "negative time");
+    switch (e.kind) {
+      case FaultKind::kNodeFail:
+        if (down[e.node]) note(e, "node is already down (double failure)");
+        down[e.node] = true;
+        break;
+      case FaultKind::kNodeRepair:
+        if (!down[e.node]) note(e, "node is not down (repair without fail)");
+        down[e.node] = false;
+        break;
+      case FaultKind::kDegradeStart:
+        if (!(e.factor > 0.0 && e.factor <= 1.0)) {
+          note(e, "degradation factor must be in (0, 1]");
+        }
+        ++open_windows[e.node];
+        break;
+      case FaultKind::kDegradeEnd:
+        if (open_windows[e.node] <= 0) {
+          note(e, "degradation end without a matching start");
+        } else {
+          --open_windows[e.node];
+        }
+        break;
+    }
+  }
+  return problems;
+}
+
+void FaultTimeline::validate_or_throw(int num_nodes) const {
+  const auto problems = validate(num_nodes);
+  if (problems.empty()) return;
+  std::ostringstream os;
+  os << "invalid fault timeline:";
+  for (const auto& p : problems) os << "\n  - " << p;
+  throw std::invalid_argument(os.str());
+}
+
+void apply_recv_degradations(const FaultTimeline& timeline,
+                             net::Network* network) {
+  CTESIM_EXPECTS(network != nullptr);
+  // Re-pair starts with their ends per node: events() is time-sorted, so a
+  // FIFO of open starts per node matches each end to the earliest start
+  // with the same factor profile (windows compose multiplicatively in the
+  // network, so exact pairing only matters for the window bounds).
+  std::map<int, std::vector<FaultEvent>> open;
+  for (const FaultEvent& e : timeline.events()) {
+    if (e.kind == FaultKind::kDegradeStart) {
+      open[e.node].push_back(e);
+    } else if (e.kind == FaultKind::kDegradeEnd) {
+      auto& starts = open[e.node];
+      CTESIM_EXPECTS(!starts.empty());
+      const FaultEvent start = starts.front();
+      starts.erase(starts.begin());
+      network->add_recv_degradation(start.node, start.factor, start.time_s,
+                                    e.time_s);
+    }
+  }
+  // Unmatched starts are open-ended windows.
+  for (const auto& [node, starts] : open) {
+    for (const FaultEvent& start : starts) {
+      network->add_recv_degradation(node, start.factor, start.time_s);
+    }
+  }
+}
+
+}  // namespace ctesim::fault

@@ -1,0 +1,78 @@
+#include "fault/validate.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ctesim::fault {
+
+namespace {
+
+void check(std::vector<std::string>& problems, bool ok,
+           const std::string& message) {
+  if (!ok) problems.push_back(message);
+}
+
+void throw_if_any(const std::vector<std::string>& problems,
+                  const char* what) {
+  if (problems.empty()) return;
+  std::ostringstream os;
+  os << "invalid " << what << ":";
+  for (const auto& p : problems) os << "\n  - " << p;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const FaultModel& model) {
+  std::vector<std::string> problems;
+  const FailureSpec& fs = model.node_failure;
+  check(problems, fs.mtbf_s >= 0.0, "failure.mtbf_s: must be >= 0");
+  check(problems, fs.mean_repair_s >= 0.0,
+        "failure.mean_repair_s: must be >= 0");
+  if (fs.dist == FailureSpec::Dist::kWeibull) {
+    check(problems, fs.weibull_shape > 0.0,
+          "failure.weibull_shape: must be positive");
+  }
+  const DegradationSpec& ds = model.link_degradation;
+  check(problems, ds.mtbd_s >= 0.0, "degradation.mtbd_s: must be >= 0");
+  check(problems, ds.mean_duration_s >= 0.0,
+        "degradation.mean_duration_s: must be >= 0");
+  if (ds.mtbd_s > 0.0) {
+    check(problems, ds.factor_min > 0.0 && ds.factor_min <= 1.0,
+          "degradation.factor_min: must be in (0, 1]");
+    check(problems, ds.factor_max > 0.0 && ds.factor_max <= 1.0,
+          "degradation.factor_max: must be in (0, 1]");
+    check(problems, ds.factor_min <= ds.factor_max,
+          "degradation.factor_min: exceeds factor_max");
+  }
+  return problems;
+}
+
+std::vector<std::string> validate(const CheckpointPolicy& policy) {
+  std::vector<std::string> problems;
+  check(problems, policy.interval_s >= 0.0,
+        "checkpoint.interval_s: must be >= 0");
+  check(problems, policy.state_bytes_per_node >= 0.0,
+        "checkpoint.state_bytes_per_node: must be >= 0");
+  check(problems, policy.restart_s >= 0.0,
+        "checkpoint.restart_s: must be >= 0");
+  check(problems, policy.write_bw >= 0.0,
+        "checkpoint.write_bw: must be > 0 when set "
+        "(0 = derive from the filesystem model)");
+  if (policy.young_daly) {
+    check(problems, policy.node_mtbf_s > 0.0,
+          "checkpoint.node_mtbf_s: Young/Daly sizing needs a positive "
+          "node MTBF");
+  }
+  return problems;
+}
+
+void validate_or_throw(const FaultModel& model) {
+  throw_if_any(validate(model), "fault model");
+}
+
+void validate_or_throw(const CheckpointPolicy& policy) {
+  throw_if_any(validate(policy), "checkpoint policy");
+}
+
+}  // namespace ctesim::fault

@@ -1,0 +1,29 @@
+// Semantic validation of fault-model and checkpoint parameters, in the
+// same spirit (and message style) as arch::validate for machine models:
+// catch nonsensical reliability inputs before they produce NaNs, infinite
+// loops in the timeline generator, or contract violations mid-simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/checkpoint.h"
+#include "fault/mtbf.h"
+
+namespace ctesim::fault {
+
+/// All problems with `model` (empty vector = valid): MTBF/repair times
+/// must be non-negative, Weibull shapes positive, degradation factors in
+/// (0, 1] with min <= max.
+std::vector<std::string> validate(const FaultModel& model);
+
+/// All problems with `policy` (empty vector = valid): non-negative
+/// interval/state/restart, write bandwidth > 0 when overridden, a node
+/// MTBF > 0 when Young/Daly sizing is requested.
+std::vector<std::string> validate(const CheckpointPolicy& policy);
+
+/// Throw std::invalid_argument listing every problem if any.
+void validate_or_throw(const FaultModel& model);
+void validate_or_throw(const CheckpointPolicy& policy);
+
+}  // namespace ctesim::fault

@@ -44,7 +44,8 @@ sim::Time CongestionModel::transfer_at(int src, int dst, std::uint64_t bytes,
                                        sim::Time now) {
   // Base (contention-free) behaviour provides latency and the effective
   // per-link occupancy; congestion adds waiting for busy links.
-  const Transfer base = network_->transfer(src, dst, bytes);
+  const Transfer base =
+      network_->transfer(src, dst, bytes, sim::to_seconds(now));
   const auto links = route(src, dst);
   const auto& spec = network_->spec();
   // Wire occupancy of the message on one link. The torus' first dimension

@@ -38,10 +38,29 @@ Network::Network(const arch::InterconnectSpec& spec, int num_nodes)
 void Network::set_recv_degradation(int node, double factor) {
   CTESIM_EXPECTS(node >= 0 && node < num_nodes());
   CTESIM_EXPECTS(factor > 0.0 && factor <= 1.0);
-  recv_degradation_[node] = factor;
+  recv_degradation_[node] = {
+      {0.0, std::numeric_limits<double>::infinity(), factor}};
+}
+
+void Network::add_recv_degradation(int node, double factor, double start_s,
+                                   double end_s) {
+  CTESIM_EXPECTS(node >= 0 && node < num_nodes());
+  CTESIM_EXPECTS(factor > 0.0 && factor <= 1.0);
+  CTESIM_EXPECTS(start_s >= 0.0 && end_s > start_s);
+  recv_degradation_[node].push_back({start_s, end_s, factor});
 }
 
 void Network::clear_faults() { recv_degradation_.clear(); }
+
+double Network::recv_factor(int node, double now_s) const {
+  const auto it = recv_degradation_.find(node);
+  if (it == recv_degradation_.end()) return 1.0;
+  double factor = 1.0;
+  for (const DegradationWindow& w : it->second) {
+    if (now_s >= w.start_s && now_s < w.end_s) factor *= w.factor;
+  }
+  return factor;
+}
 
 double Network::pair_jitter(int src, int dst) const {
   if (jitter_amplitude_ <= 0.0) return 1.0;
@@ -53,7 +72,8 @@ double Network::pair_jitter(int src, int dst) const {
   return 1.0 + jitter_amplitude_ * (2.0 * u - 1.0);
 }
 
-Transfer Network::transfer(int src, int dst, std::uint64_t bytes) const {
+Transfer Network::transfer(int src, int dst, std::uint64_t bytes,
+                           double now_s) const {
   CTESIM_EXPECTS(src >= 0 && src < num_nodes());
   CTESIM_EXPECTS(dst >= 0 && dst < num_nodes());
   CTESIM_EXPECTS(src != dst);
@@ -75,12 +95,12 @@ Transfer Network::transfer(int src, int dst, std::uint64_t bytes) const {
       bw *= std::pow(1.0 - spec_.long_dim_bw_penalty, long_hops);
     }
   }
-  if (auto it = recv_degradation_.find(dst); it != recv_degradation_.end()) {
+  if (const double factor = recv_factor(dst, now_s); factor < 1.0) {
     // A sick receive path (the arms0b1-11c case) hurts both the credit/
     // buffer bandwidth and the per-message processing latency, so the
     // degradation is visible even for small latency-bound messages.
-    bw *= it->second;
-    t.latency_s /= it->second;
+    bw *= factor;
+    t.latency_s /= factor;
   }
   CTESIM_ENSURES(bw > 0.0);
 

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "arch/machine.h"
 #include "net/topology.h"
@@ -38,10 +40,20 @@ class Network {
   const arch::InterconnectSpec& spec() const { return spec_; }
   int num_nodes() const { return topology_->num_nodes(); }
 
-  /// Degrade the receive-side bandwidth of `node` by `factor` (0,1] —
-  /// models the weak node arms0b1-11c of Fig. 4, which underperforms only
-  /// as a receiver.
+  /// Degrade the receive-side bandwidth of `node` by `factor` (0,1] for
+  /// the whole run — models the weak node arms0b1-11c of Fig. 4, which
+  /// underperforms only as a receiver. Replaces any previous windows on
+  /// the node (the always-active special case of add_recv_degradation).
   void set_recv_degradation(int node, double factor);
+
+  /// Open a receive-side degradation window [start_s, end_s) on `node`
+  /// with bandwidth factor `factor` (0,1], evaluated against the time
+  /// passed to transfer(). Omitting `end_s` leaves the window open-ended.
+  /// Windows may overlap (factors compose multiplicatively); they stack
+  /// with — rather than replace — previous windows on the node.
+  void add_recv_degradation(int node, double factor, double start_s = 0.0,
+                            double end_s =
+                                std::numeric_limits<double>::infinity());
 
   /// Remove all injected faults.
   void clear_faults();
@@ -49,17 +61,30 @@ class Network {
   /// Amplitude of the deterministic per-pair bandwidth jitter (default 3%).
   void set_jitter(double amplitude) { jitter_amplitude_ = amplitude; }
 
-  /// Predict one point-to-point transfer between two *different* nodes.
-  Transfer transfer(int src, int dst, std::uint64_t bytes) const;
+  /// Predict one point-to-point transfer between two *different* nodes at
+  /// simulated time `now_s` (degradation windows active at that instant
+  /// apply; the default 0.0 keeps time-free callers on the state at the
+  /// start of the run).
+  Transfer transfer(int src, int dst, std::uint64_t bytes,
+                    double now_s = 0.0) const;
 
  private:
+  /// One receive-path degradation window on a node.
+  struct DegradationWindow {
+    double start_s = 0.0;
+    double end_s = 0.0;  ///< exclusive; +infinity = open-ended
+    double factor = 1.0;
+  };
+
   double pair_jitter(int src, int dst) const;
+  /// Combined receive factor of `node` at `now_s` (1.0 when healthy).
+  double recv_factor(int node, double now_s) const;
 
   arch::InterconnectSpec spec_;
   std::unique_ptr<Topology> topology_;
   // Ordered by node id so any future walk over the fault set (reports,
   // serialization) is deterministic.
-  std::map<int, double> recv_degradation_;
+  std::map<int, std::vector<DegradationWindow>> recv_degradation_;
   double jitter_amplitude_ = 0.03;
 };
 

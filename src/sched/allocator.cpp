@@ -22,14 +22,46 @@ const char* name_of(Policy policy) {
 
 Allocator::Allocator(const net::TorusTopology& topology)
     : topology_(&topology),
-      busy_(static_cast<std::size_t>(topology.num_nodes()), false) {}
+      busy_(static_cast<std::size_t>(topology.num_nodes()), false),
+      drained_(static_cast<std::size_t>(topology.num_nodes()), false) {}
 
 void Allocator::occupy(const std::vector<int>& nodes) {
   for (int n : nodes) {
     CTESIM_EXPECTS(n >= 0 && n < topology_->num_nodes());
-    CTESIM_EXPECTS(!busy_[static_cast<std::size_t>(n)]);
+    CTESIM_EXPECTS(!unavailable(n));
     busy_[static_cast<std::size_t>(n)] = true;
   }
+}
+
+void Allocator::drain(int node) {
+  CTESIM_EXPECTS(node >= 0 && node < topology_->num_nodes());
+  CTESIM_EXPECTS(!busy_[static_cast<std::size_t>(node)]);
+  CTESIM_ASSERT(!drained_[static_cast<std::size_t>(node)],
+                "double drain: the node is already out of service — the "
+                "fault script and the allocator state drifted");
+  drained_[static_cast<std::size_t>(node)] = true;
+}
+
+void Allocator::return_to_service(int node) {
+  CTESIM_EXPECTS(node >= 0 && node < topology_->num_nodes());
+  CTESIM_ASSERT(drained_[static_cast<std::size_t>(node)],
+                "returning an in-service node: the repair has no matching "
+                "drain — the fault script and the allocator state drifted");
+  drained_[static_cast<std::size_t>(node)] = false;
+}
+
+bool Allocator::is_drained(int node) const {
+  CTESIM_EXPECTS(node >= 0 && node < topology_->num_nodes());
+  return drained_[static_cast<std::size_t>(node)];
+}
+
+int Allocator::drained_count() const {
+  return static_cast<int>(
+      std::count(drained_.begin(), drained_.end(), true));
+}
+
+int Allocator::in_service_nodes() const {
+  return topology_->num_nodes() - drained_count();
 }
 
 void Allocator::release(const std::vector<int>& nodes) {
@@ -79,8 +111,7 @@ int Allocator::largest_free_block() const {
   std::vector<bool> seen(static_cast<std::size_t>(n), false);
   int best = 0;
   for (int start = 0; start < n; ++start) {
-    if (busy_[static_cast<std::size_t>(start)] ||
-        seen[static_cast<std::size_t>(start)]) {
+    if (unavailable(start) || seen[static_cast<std::size_t>(start)]) {
       continue;
     }
     int size = 0;
@@ -97,8 +128,7 @@ int Allocator::largest_free_block() const {
           const int dim_size = topology_->dims()[d];
           next[d] = (next[d] + dir + dim_size) % dim_size;
           const int nb = topology_->node_at(next);
-          if (!seen[static_cast<std::size_t>(nb)] &&
-              !busy_[static_cast<std::size_t>(nb)]) {
+          if (!seen[static_cast<std::size_t>(nb)] && !unavailable(nb)) {
             seen[static_cast<std::size_t>(nb)] = true;
             queue.push_back(nb);
           }
@@ -118,7 +148,11 @@ double Allocator::fragmentation() const {
 }
 
 int Allocator::free_nodes() const {
-  return static_cast<int>(std::count(busy_.begin(), busy_.end(), false));
+  int free = 0;
+  for (int n = 0; n < topology_->num_nodes(); ++n) {
+    if (!unavailable(n)) ++free;
+  }
+  return free;
 }
 
 bool Allocator::is_busy(int node) const {
@@ -152,7 +186,7 @@ std::vector<int> Allocator::allocate_linear(int count) {
   for (int n = 0; n < topology_->num_nodes() &&
                   static_cast<int>(nodes.size()) < count;
        ++n) {
-    if (!busy_[static_cast<std::size_t>(n)]) nodes.push_back(n);
+    if (!unavailable(n)) nodes.push_back(n);
   }
   return nodes;
 }
@@ -160,7 +194,7 @@ std::vector<int> Allocator::allocate_linear(int count) {
 std::vector<int> Allocator::allocate_random(int count, std::uint64_t seed) {
   std::vector<int> free;
   for (int n = 0; n < topology_->num_nodes(); ++n) {
-    if (!busy_[static_cast<std::size_t>(n)]) free.push_back(n);
+    if (!unavailable(n)) free.push_back(n);
   }
   Rng rng(seed);
   // Fisher-Yates prefix shuffle of the free list.
@@ -184,7 +218,7 @@ std::vector<int> Allocator::allocate_contiguous(int count) {
   double best_score = 1e300;
   const int stride = n > 512 ? n / 256 : 1;
   for (int seed = 0; seed < n; seed += stride) {
-    if (busy_[static_cast<std::size_t>(seed)]) continue;
+    if (unavailable(seed)) continue;
     // BFS over free nodes only.
     std::vector<int> ball;
     std::vector<bool> seen(static_cast<std::size_t>(n), false);
@@ -193,7 +227,7 @@ std::vector<int> Allocator::allocate_contiguous(int count) {
     while (!queue.empty() && static_cast<int>(ball.size()) < count) {
       const int node = queue.front();
       queue.pop_front();
-      if (!busy_[static_cast<std::size_t>(node)]) ball.push_back(node);
+      if (!unavailable(node)) ball.push_back(node);
       // Neighbors: +-1 in every dimension.
       const auto coords = topology_->coordinates(node);
       for (std::size_t d = 0; d < topology_->dims().size(); ++d) {

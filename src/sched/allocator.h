@@ -56,6 +56,21 @@ class Allocator {
   bool owns(std::uint64_t job_id) const;
   const std::vector<int>& nodes_of(std::uint64_t job_id) const;
 
+  /// Take `node` out of service (a failure or an operator drain). The node
+  /// must be free — the batch runtime releases a victim job before
+  /// draining its node — and stays unallocatable until returned. Draining
+  /// an already-drained node is bookkeeping drift (CTESIM_CHECKS).
+  void drain(int node);
+
+  /// Return a drained node to service (a repair). Returning a node that is
+  /// not drained is bookkeeping drift (CTESIM_CHECKS).
+  void return_to_service(int node);
+
+  bool is_drained(int node) const;
+  int drained_count() const;
+  /// Nodes currently in service (total minus drained), busy or free.
+  int in_service_nodes() const;
+
   int free_nodes() const;
   bool is_busy(int node) const;
 
@@ -78,8 +93,15 @@ class Allocator {
   std::vector<int> allocate_linear(int count);
   std::vector<int> allocate_random(int count, std::uint64_t seed);
 
+  /// A node is allocatable iff neither busy nor drained.
+  bool unavailable(int node) const {
+    return busy_[static_cast<std::size_t>(node)] ||
+           drained_[static_cast<std::size_t>(node)];
+  }
+
   const net::TorusTopology* topology_;
   std::vector<bool> busy_;
+  std::vector<bool> drained_;  ///< out of service (failed / draining)
   std::map<std::uint64_t, std::vector<int>> owned_;
 };
 

@@ -205,7 +205,8 @@ Rank::DepositResult Rank::deposit(int dst, std::uint64_t bytes, int tag) {
     // The copy occupies the sender too (shared-memory transport).
     sender_done = arrival;
   } else {
-    const auto transfer = world_->network_.transfer(src_node, dst_node, bytes);
+    const auto transfer = world_->network_.transfer(src_node, dst_node, bytes,
+                                                    sim::to_seconds(now));
     arrival = world_->congestion_
                   ? world_->congestion_->transfer_at(src_node, dst_node,
                                                      bytes, now)

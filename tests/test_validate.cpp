@@ -4,6 +4,7 @@
 #include "arch/configs.h"
 #include "arch/machine_io.h"
 #include "arch/validate.h"
+#include "fault/validate.h"
 
 namespace ctesim::arch {
 namespace {
@@ -117,6 +118,66 @@ TEST(Validate, ParsedSampleMachineFileIsValid) {
   const auto m = load_machine_file(
       std::string(CTESIM_SOURCE_DIR) + "/examples/machines/a64fx_successor.ini");
   EXPECT_TRUE(validate(m).empty()) << "a64fx_successor.ini became invalid";
+}
+
+// --- fault-model & checkpoint-policy parameters ----------------------------
+
+TEST(Validate, DefaultFaultModelAndPolicyAreValid) {
+  EXPECT_TRUE(fault::validate(fault::FaultModel{}).empty());
+  EXPECT_TRUE(fault::validate(fault::CheckpointPolicy{}).empty());
+  EXPECT_NO_THROW(fault::validate_or_throw(fault::FaultModel{}));
+}
+
+TEST(Validate, CatchesNegativeMtbfAndRepair) {
+  fault::FaultModel m;
+  m.node_failure.mtbf_s = -1.0;
+  m.node_failure.mean_repair_s = -5.0;
+  const auto problems = fault::validate(m);
+  ASSERT_EQ(problems.size(), 2u);
+  EXPECT_NE(problems[0].find("mtbf_s"), std::string::npos);
+  EXPECT_NE(problems[1].find("mean_repair_s"), std::string::npos);
+}
+
+TEST(Validate, CatchesBadWeibullShape) {
+  fault::FaultModel m;
+  m.node_failure.dist = fault::FailureSpec::Dist::kWeibull;
+  m.node_failure.weibull_shape = 0.0;
+  const auto problems = fault::validate(m);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("weibull_shape"), std::string::npos);
+}
+
+TEST(Validate, CatchesDegradationFactorsOutsideUnitInterval) {
+  fault::FaultModel m;
+  m.link_degradation.mtbd_s = 3600.0;
+  m.link_degradation.factor_min = 0.0;   // must be in (0, 1]
+  m.link_degradation.factor_max = 1.5;   // must be in (0, 1]
+  EXPECT_EQ(fault::validate(m).size(), 2u);
+  m.link_degradation.factor_min = 0.9;
+  m.link_degradation.factor_max = 0.5;   // min above max
+  const auto problems = fault::validate(m);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("factor_min"), std::string::npos);
+}
+
+TEST(Validate, CatchesBadCheckpointPolicy) {
+  fault::CheckpointPolicy p;
+  p.interval_s = -10.0;
+  p.state_bytes_per_node = -1.0;
+  p.restart_s = -2.0;
+  p.write_bw = -1e9;
+  EXPECT_EQ(fault::validate(p).size(), 4u);
+  EXPECT_THROW(fault::validate_or_throw(p), std::invalid_argument);
+}
+
+TEST(Validate, YoungDalyNeedsANodeMtbf) {
+  fault::CheckpointPolicy p;
+  p.young_daly = true;  // node_mtbf_s left at 0
+  const auto problems = fault::validate(p);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("node_mtbf_s"), std::string::npos);
+  p.node_mtbf_s = 24.0 * 3600.0;
+  EXPECT_TRUE(fault::validate(p).empty());
 }
 
 }  // namespace
