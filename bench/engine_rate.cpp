@@ -1,0 +1,142 @@
+// Engine speed: raw discrete-event throughput of the simulation core
+// (ROADMAP item 1). Runs the canonical 192-node CTE-Arm cluster study —
+// the same workload shape cluster_throughput uses — under google-benchmark
+// and reports DES events per wall-clock second, so engine regressions show
+// up as a number instead of a feeling.
+//
+// Besides the normal google-benchmark output, `--out=PATH` (default
+// BENCH_engine.json, written to the current directory — run from the repo
+// root to refresh the committed baseline) emits a machine-readable summary
+// that CI uploads as an artifact. The flag is stripped from argv before
+// benchmark::Initialize sees it.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "arch/configs.h"
+#include "batch/cluster.h"
+#include "batch/workload.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace ctesim;
+
+/// The canonical engine workload: ≥500 jobs of batch traffic on the full
+/// 192-node machine, EASY backfill, contiguous placement, seed 1.
+constexpr int kCanonicalJobs = 600;
+
+void BM_ClusterEngine(benchmark::State& state) {
+  const batch::RuntimeModel model(arch::cte_arm());
+  batch::WorkloadConfig config;
+  config.num_jobs = static_cast<int>(state.range(0));
+  config.mean_interarrival_s = 16.0;
+  config.burst_fraction = 0.3;
+  const auto stream = batch::generate(config, model, 1);
+  batch::ClusterOptions options;
+  options.seed = 1;
+
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto result = batch::run_cluster(model, stream, options);
+    events += result.engine_events;
+    benchmark::DoNotOptimize(result.engine_events);
+  }
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["events_per_run"] = benchmark::Counter(
+      static_cast<double>(events) /
+      static_cast<double>(state.iterations()));
+}
+
+BENCHMARK(BM_ClusterEngine)
+    ->Arg(kCanonicalJobs / 4)
+    ->Arg(kCanonicalJobs)
+    ->Unit(benchmark::kMillisecond);
+
+/// Console output plus a captured copy of every run for the JSON summary.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) runs_.push_back(run);
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+bool write_summary(const std::string& path,
+                   const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\"bench\":\"engine_rate\",\"machine\":\"cte-arm\",\"nodes\":"
+      << arch::cte_arm().num_nodes << ",\"runs\":[";
+  bool first = true;
+  for (const auto& run : runs) {
+    if (run.error_occurred) continue;
+    const double real_s =
+        run.iterations > 0
+            ? run.real_accumulated_time / static_cast<double>(run.iterations)
+            : 0.0;
+    double events_per_s = 0.0;
+    double events_per_run = 0.0;
+    if (auto it = run.counters.find("events_per_s");
+        it != run.counters.end()) {
+      events_per_s = it->second.value;
+    }
+    if (auto it = run.counters.find("events_per_run");
+        it != run.counters.end()) {
+      events_per_run = it->second.value;
+    }
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << json::escape(run.benchmark_name())
+        << "\",\"iterations\":" << run.iterations
+        << ",\"real_s_per_run\":" << json::number(real_s)
+        << ",\"events_per_run\":" << json::number(events_per_run)
+        << ",\"events_per_s\":" << json::number(events_per_s) << "}";
+  }
+  out << "]}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_engine.json";
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!out_path.empty()) {
+    if (!write_summary(out_path, reporter.runs())) {
+      std::fprintf(stderr, "engine_rate: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::printf("engine_rate: summary written to %s\n", out_path.c_str());
+  }
+  return 0;
+}

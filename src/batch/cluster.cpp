@@ -411,6 +411,7 @@ ClusterResult run_cluster(const RuntimeModel& model,
     }
   }
   engine.run();
+  result.engine_events = engine.events_processed();
   CTESIM_ENSURES(running.empty());
 
   // Jobs still queued when every event has drained can never run: the

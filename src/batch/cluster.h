@@ -72,6 +72,9 @@ struct ClusterResult {
   std::vector<JobRecord> records;         ///< one per job, by job id order
   std::vector<FragSample> frag_timeline;  ///< event-driven samples
   double makespan_s = 0.0;  ///< first arrival to last completion
+  /// Discrete events the engine dispatched for this run — the denominator
+  /// of the events/sec figure bench/engine_rate tracks (ROADMAP item 1).
+  std::uint64_t engine_events = 0;
 };
 
 /// Simulate the full stream. Deterministic: identical (model, jobs,

@@ -1,0 +1,72 @@
+// Bounded LRU cache of finished simulate replies, keyed by the triple
+// (config-hash, workload-hash, seed). Because the simulator is
+// deterministic and replies serialize with fixed formatting, a hit can
+// return the *exact bytes* of the original miss — the client cannot tell
+// (and must not be able to tell) whether its study ran or was replayed.
+// Thread-safe: workers insert while connection threads probe.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace ctesim::server {
+
+struct CacheKey {
+  std::uint64_t config_hash = 0;    ///< canonical machine INI bytes
+  std::uint64_t workload_hash = 0;  ///< canonical workload + policies
+  std::uint64_t seed = 0;
+
+  bool operator<(const CacheKey& other) const {
+    if (config_hash != other.config_hash) {
+      return config_hash < other.config_hash;
+    }
+    if (workload_hash != other.workload_hash) {
+      return workload_hash < other.workload_hash;
+    }
+    return seed < other.seed;
+  }
+  bool operator==(const CacheKey&) const = default;
+};
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::size_t capacity = 0;
+    std::size_t size = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// `capacity` = max cached replies; 0 disables caching entirely (every
+  /// get misses, put is a no-op).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// The cached reply bytes, or nullptr on a miss. A hit refreshes the
+  /// entry's LRU position. Counts toward hits/misses either way.
+  std::shared_ptr<const std::string> get(const CacheKey& key);
+
+  /// Insert (or refresh) an entry, evicting the least-recently-used entry
+  /// beyond capacity.
+  void put(const CacheKey& key, std::shared_ptr<const std::string> reply);
+
+  Stats stats() const;
+
+ private:
+  using Entry = std::pair<CacheKey, std::shared_ptr<const std::string>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::map<CacheKey, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace ctesim::server

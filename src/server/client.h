@@ -1,0 +1,29 @@
+// Minimal blocking client for the line-delimited JSON protocol: connect,
+// send one request line, read one reply line. Used by tools/ctesim_client,
+// bench/server_throughput and the tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ctesim::server {
+
+class Client {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  Client(const std::string& host, int port);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send `line` (a newline is appended if missing) and block for the
+  /// reply line (returned without its trailing newline). Throws
+  /// std::runtime_error if the connection drops mid-exchange.
+  std::string request(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last reply line
+};
+
+}  // namespace ctesim::server

@@ -1,0 +1,405 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "arch/configs.h"
+#include "arch/machine_io.h"
+#include "arch/validate.h"
+#include "batch/cluster.h"
+#include "batch/metrics.h"
+#include "batch/workload.h"
+#include "trace/chrome.h"
+#include "util/assert.h"
+#include "util/hash.h"
+
+namespace ctesim::server {
+
+namespace {
+
+std::int64_t steady_ns() {
+  // Real time, deliberately: queue deadlines and trace timestamps describe
+  // the *server*, not a simulation. The simulation path never calls this.
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Service::Service(const ServiceConfig& config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      queue_(config.admission_policy, std::max(1, config.workers)),
+      free_slots_(config.workers),
+      epoch_ns_(steady_ns()) {
+  CTESIM_EXPECTS(config.workers >= 1);
+  CTESIM_EXPECTS(config.queue_capacity >= 0);
+  admission_rec_ = std::make_unique<trace::Recorder>(config_.tracing);
+  worker_recs_.reserve(static_cast<std::size_t>(config_.workers));
+  threads_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    worker_recs_.push_back(std::make_unique<trace::Recorder>(config_.tracing));
+  }
+  for (int w = 0; w < config_.workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Service::~Service() { shutdown(); }
+
+sim::Time Service::real_now_ps() const {
+  return (steady_ns() - epoch_ns_) * sim::kNanosecond;
+}
+
+int Service::slot_weight(const SimulateSpec& spec) const {
+  // A wide study reserves several worker slots: it still runs on one
+  // thread, but admission paces how much heavy work is in flight, and the
+  // EASY planner backfills cheap requests around the reservation.
+  const int weight = 1 + spec.workload.num_jobs / 2048;
+  return std::clamp(weight, 1, config_.workers);
+}
+
+double Service::cost_estimate(const SimulateSpec& spec) {
+  // Virtual ticks on the admission clock (1 tick = one dispatch); only
+  // relative magnitudes matter to the backfill planner.
+  return 1.0 + spec.workload.num_jobs / 100.0;
+}
+
+std::shared_ptr<const arch::MachineModel> Service::resolve_machine_locked(
+    const SimulateSpec& spec, std::uint64_t* config_hash) {
+  const std::string label =
+      spec.machine_ini.empty() ? "name:" + spec.machine
+                               : "ini:" + hash_hex(hash64(spec.machine_ini));
+  if (auto it = machine_labels_.find(label); it != machine_labels_.end()) {
+    ++machines_reused_;
+    *config_hash = it->second;
+    return machines_.at(it->second);
+  }
+
+  arch::MachineModel model;
+  if (!spec.machine_ini.empty()) {
+    try {
+      model = arch::parse_machine_string(spec.machine_ini);
+      arch::validate_or_throw(model);
+    } catch (const std::exception& e) {
+      throw ProtocolError(std::string("machine_ini: ") + e.what());
+    }
+  } else if (spec.machine == "cte-arm") {
+    model = arch::cte_arm();
+  } else if (spec.machine == "marenostrum4") {
+    model = arch::marenostrum4();
+  } else {
+    throw ProtocolError("unknown machine '" + spec.machine +
+                        "' (use cte-arm, marenostrum4, or machine_ini)");
+  }
+
+  const std::uint64_t h = hash64(arch::machine_to_string(model));
+  *config_hash = h;
+  auto it = machines_.find(h);
+  if (it == machines_.end()) {
+    ++machines_built_;
+    it = machines_
+             .emplace(h, std::make_shared<const arch::MachineModel>(
+                             std::move(model)))
+             .first;
+  } else {
+    ++machines_reused_;  // same model reached through a new label
+  }
+  machine_labels_[label] = h;
+  return it->second;
+}
+
+std::string Service::handle(const std::string& request_line) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++received_;
+  }
+  if (request_line.size() > config_.max_request_bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++errors_;
+    return error_reply("oversized",
+                       "request exceeds " +
+                           std::to_string(config_.max_request_bytes) +
+                           " bytes");
+  }
+  Request request;
+  try {
+    request = parse_request(request_line);
+  } catch (const ProtocolError& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++errors_;
+    return error_reply("bad_request", e.what());
+  }
+  switch (request.op) {
+    case Op::kPing:
+      return ping_reply();
+    case Op::kStats:
+      return stats_reply(stats());
+    case Op::kSimulate:
+      return handle_simulate(request.sim);
+  }
+  return error_reply("internal", "unreachable op");
+}
+
+std::string Service::handle_simulate(const SimulateSpec& spec) {
+  std::shared_future<std::shared_ptr<const std::string>> future;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_) {
+      return error_reply("shutting_down", "server is shutting down");
+    }
+
+    std::uint64_t config_hash = 0;
+    std::shared_ptr<const arch::MachineModel> machine;
+    try {
+      machine = resolve_machine_locked(spec, &config_hash);
+      if (machine->interconnect.kind != arch::InterconnectSpec::Kind::kTorus) {
+        throw ProtocolError(
+            "machine '" + machine->name +
+            "' has no torus interconnect (the batch model needs one)");
+      }
+      if (spec.workload.max_nodes > machine->num_nodes) {
+        throw ProtocolError("max_nodes exceeds the machine's " +
+                            std::to_string(machine->num_nodes) + " nodes");
+      }
+      if (spec.workload.num_jobs > config_.max_jobs_per_request) {
+        throw ProtocolError(
+            "jobs exceeds the per-request cap of " +
+            std::to_string(config_.max_jobs_per_request));
+      }
+    } catch (const ProtocolError& e) {
+      ++errors_;
+      return error_reply("bad_request", e.what());
+    }
+
+    const CacheKey key{config_hash, hash64(canonical_workload(spec)),
+                       spec.seed};
+    if (auto bytes = cache_.get(key)) {
+      admission_rec_->instant(trace::Track::global(), "server", "cache_hit",
+                              hash_hex(key.workload_hash), real_now_ps());
+      return *bytes;
+    }
+
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+      ++coalesced_;
+      future = it->second->future;
+    } else {
+      if (static_cast<int>(queue_.size()) >= config_.queue_capacity) {
+        ++shed_;
+        admission_rec_->instant(trace::Track::global(), "server", "shed",
+                                hash_hex(key.workload_hash), real_now_ps());
+        return error_reply("overloaded",
+                           "admission queue full (capacity " +
+                               std::to_string(config_.queue_capacity) +
+                               "); retry later");
+      }
+      auto flight = std::make_shared<Flight>();
+      flight->future = flight->promise.get_future().share();
+      const int seq = next_seq_++;
+      batch::Job job;
+      job.id = seq;
+      job.arrival_s = virtual_now_;
+      job.nodes = slot_weight(spec);
+      job.walltime_s = cost_estimate(spec);
+      queue_.push(job);
+      const double deadline = spec.deadline_ms > 0.0
+                                  ? spec.deadline_ms
+                                  : config_.default_deadline_ms;
+      pending_[seq] =
+          Pending{spec, std::move(machine), key, flight, real_now_ps(),
+                  deadline};
+      inflight_[key] = flight;
+      max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+      admission_rec_->counter(trace::Track::global(), "server",
+                              "queue_depth", real_now_ps(),
+                              static_cast<double>(queue_.size()));
+      future = flight->future;
+      cv_.notify_one();
+    }
+  }
+  return *future.get();
+}
+
+std::shared_ptr<const std::string> Service::run_simulation(
+    const Pending& pending, int worker_id) {
+  const SimulateSpec& spec = pending.spec;
+  const sim::Time t0 = real_now_ps();
+  const batch::RuntimeModel model(*pending.machine);
+  const auto jobs = batch::generate(spec.workload, model, spec.seed);
+  batch::ClusterOptions options;
+  options.placement = spec.placement;
+  options.queue = spec.queue;
+  options.seed = spec.seed;
+  const auto result = batch::run_cluster(model, jobs, options);
+  const auto metrics =
+      batch::summarize(result, pending.machine->num_nodes);
+  auto reply = std::make_shared<const std::string>(
+      simulate_reply(pending.key.config_hash, pending.key.workload_hash,
+                     spec.seed, metrics, result.engine_events));
+  worker_recs_[static_cast<std::size_t>(worker_id)]->span(
+      trace::Track::worker(worker_id), "server", "execute",
+      hash_hex(pending.key.workload_hash), t0, real_now_ps(),
+      reply->size());
+  return reply;
+}
+
+void Service::worker_loop(int worker_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (stop_) break;
+    int pos = -1;
+    if (!queue_.empty()) {
+      pos = queue_.next_startable(virtual_now_, free_slots_, running_);
+    }
+    if (pos < 0) {
+      cv_.wait(lock);
+      continue;
+    }
+    const batch::Job job = queue_.pop(pos);
+    Pending pending = std::move(pending_.at(job.id));
+    pending_.erase(job.id);
+    virtual_now_ += 1.0;
+    free_slots_ -= job.nodes;
+    running_.push_back(
+        batch::Reservation{job.id, virtual_now_ + job.walltime_s, job.nodes});
+    ++active_;
+    const auto hook = worker_hook_;
+    lock.unlock();
+
+    if (hook) hook();
+
+    enum class Outcome { kCompleted, kTimeout, kError };
+    Outcome outcome = Outcome::kCompleted;
+    std::shared_ptr<const std::string> reply;
+    const double waited_ms =
+        static_cast<double>(real_now_ps() - pending.admitted_ps) /
+        sim::kMillisecond;
+    if (pending.deadline_ms > 0.0 && waited_ms > pending.deadline_ms) {
+      outcome = Outcome::kTimeout;
+      reply = std::make_shared<const std::string>(error_reply(
+          "timeout", "queued past the request deadline; not run"));
+      worker_recs_[static_cast<std::size_t>(worker_id)]->instant(
+          trace::Track::worker(worker_id), "server", "timeout",
+          hash_hex(pending.key.workload_hash), real_now_ps());
+    } else {
+      try {
+        reply = run_simulation(pending, worker_id);
+      } catch (const std::exception& e) {
+        outcome = Outcome::kError;
+        reply = std::make_shared<const std::string>(
+            error_reply("internal", e.what()));
+      }
+    }
+    if (outcome == Outcome::kCompleted) cache_.put(pending.key, reply);
+
+    lock.lock();
+    switch (outcome) {
+      case Outcome::kCompleted:
+        ++completed_;
+        break;
+      case Outcome::kTimeout:
+        ++timeouts_;
+        break;
+      case Outcome::kError:
+        ++errors_;
+        break;
+    }
+    free_slots_ += job.nodes;
+    running_.erase(
+        std::find_if(running_.begin(), running_.end(),
+                     [&](const batch::Reservation& r) {
+                       return r.job_id == job.id;
+                     }));
+    --active_;
+    inflight_.erase(pending.key);
+    cv_.notify_all();
+    lock.unlock();
+    pending.flight->promise.set_value(std::move(reply));
+    lock.lock();
+  }
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats s;
+  s.workers = config_.workers;
+  s.queue_capacity = config_.queue_capacity;
+  s.queue_depth = queue_.size();
+  s.max_queue_depth = max_queue_depth_;
+  s.active = active_;
+  s.received = received_;
+  s.completed = completed_;
+  s.coalesced = coalesced_;
+  s.shed = shed_;
+  s.timeouts = timeouts_;
+  s.errors = errors_;
+  s.machines_built = machines_built_;
+  s.machines_reused = machines_reused_;
+  s.cache = cache_.stats();
+  return s;
+}
+
+std::string Service::stats_reply(const ServiceStats& s) {
+  std::ostringstream os;
+  os << R"({"op":"stats","status":"ok","workers":)" << s.workers
+     << R"(,"queue_capacity":)" << s.queue_capacity << R"(,"queue_depth":)"
+     << s.queue_depth << R"(,"max_queue_depth":)" << s.max_queue_depth
+     << R"(,"active":)" << s.active << R"(,"received":)" << s.received
+     << R"(,"completed":)" << s.completed << R"(,"coalesced":)"
+     << s.coalesced << R"(,"shed":)" << s.shed << R"(,"timeouts":)"
+     << s.timeouts << R"(,"errors":)" << s.errors
+     << R"(,"machines_built":)" << s.machines_built
+     << R"(,"machines_reused":)" << s.machines_reused << R"(,"cache":{)"
+     << R"("capacity":)" << s.cache.capacity << R"(,"size":)" << s.cache.size
+     << R"(,"hits":)" << s.cache.hits << R"(,"misses":)" << s.cache.misses
+     << R"(,"evictions":)" << s.cache.evictions << "}}";
+  return os.str();
+}
+
+void Service::shutdown() {
+  std::vector<std::shared_ptr<Flight>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!stop_) {
+      stop_ = true;
+      while (!queue_.empty()) {
+        const batch::Job job = queue_.pop(0);
+        auto it = pending_.find(job.id);
+        CTESIM_DCHECK(it != pending_.end(),
+                      "queued job without a pending entry");
+        inflight_.erase(it->second.key);
+        orphans.push_back(std::move(it->second.flight));
+        pending_.erase(it);
+      }
+    }
+    cv_.notify_all();
+  }
+  const auto goodbye = std::make_shared<const std::string>(
+      error_reply("shutting_down", "server is shutting down"));
+  for (const auto& flight : orphans) flight->promise.set_value(goodbye);
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Service::export_trace(const std::string& path) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CTESIM_EXPECTS(stop_);  // workers write their recorders unsynchronized
+  }
+  trace::Recorder merged(true);
+  std::vector<const trace::Recorder*> parts;
+  parts.push_back(admission_rec_.get());
+  for (const auto& rec : worker_recs_) parts.push_back(rec.get());
+  merged.merge_from(parts);
+  trace::write_chrome_trace(merged, path);
+}
+
+void Service::set_worker_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  worker_hook_ = std::move(hook);
+}
+
+}  // namespace ctesim::server

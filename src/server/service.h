@@ -1,0 +1,179 @@
+// The capacity-planning service behind ctesim-as-a-service: parses request
+// lines, runs simulate studies concurrently on a fixed worker-thread pool,
+// and answers with deterministic reply bytes. Transport-agnostic — the TCP
+// layer (server/tcp.h), the bench harness and the tests all drive the same
+// handle() entry point.
+//
+// Production concerns are real features here:
+//   * Immutable shared machines: each distinct machine config is built and
+//     validated once, then shared read-only across workers (build-once,
+//     read-many; the stats op reports built vs reused).
+//   * Exact result cache: replies are cached by (config-hash,
+//     workload-hash, seed); determinism makes a hit byte-identical to the
+//     original miss, so clients cannot observe the difference.
+//   * Admission control: at most queue_capacity simulate requests wait;
+//     beyond that the service sheds with a typed "overloaded" reply
+//     instead of queueing unboundedly. Pending requests are *ordered* by a
+//     batch::JobQueue over a slot pool of `workers` slots — the same FCFS /
+//     EASY-backfill policies the simulated cluster schedules jobs with,
+//     turned on the server itself: a wide (expensive) request reserves
+//     several slots and cheap requests backfill around it.
+//   * Request coalescing: identical in-flight requests attach to one
+//     execution and all receive the same bytes.
+//   * Per-request queue-wait deadlines: a request that a worker picks up
+//     past its deadline is answered "timeout" instead of running late.
+//
+// Threading: handle() is called concurrently from connection threads; the
+// admission state is guarded by one mutex. Each worker owns a private
+// trace::Recorder (the Recorder itself is not thread-safe); export_trace()
+// merges them deterministically after shutdown. The *simulation* path
+// stays wall-clock-free — real time is only read for queue deadlines and
+// trace timestamps, never inside a study.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/machine.h"
+#include "batch/queue.h"
+#include "server/cache.h"
+#include "server/protocol.h"
+#include "trace/recorder.h"
+
+namespace ctesim::server {
+
+struct ServiceConfig {
+  int workers = 4;
+  /// Max simulate requests waiting for a worker; beyond it, shed.
+  int queue_capacity = 32;
+  std::size_t cache_capacity = 256;
+  /// Requests longer than this are answered "oversized" unparsed.
+  std::size_t max_request_bytes = 1 << 16;
+  /// How pending requests are ordered on the worker-slot pool.
+  batch::QueuePolicy admission_policy = batch::QueuePolicy::kEasyBackfill;
+  /// Hard per-request workload size cap (admission guard).
+  int max_jobs_per_request = 20000;
+  /// Default queue-wait deadline in real ms; 0 = none. A request may set
+  /// its own with the "deadline_ms" field.
+  double default_deadline_ms = 0.0;
+  /// Record request spans / queue counters (export_trace()).
+  bool tracing = false;
+};
+
+struct ServiceStats {
+  int workers = 0;
+  int queue_capacity = 0;
+  std::size_t queue_depth = 0;
+  std::size_t max_queue_depth = 0;
+  int active = 0;              ///< requests executing right now
+  std::uint64_t received = 0;  ///< every request line seen
+  std::uint64_t completed = 0; ///< simulate runs that produced a reply
+  std::uint64_t coalesced = 0; ///< attached to an identical in-flight run
+  std::uint64_t shed = 0;      ///< rejected with "overloaded"
+  std::uint64_t timeouts = 0;  ///< rejected with "timeout" at dequeue
+  std::uint64_t errors = 0;    ///< bad_request / oversized / internal
+  std::uint64_t machines_built = 0;
+  std::uint64_t machines_reused = 0;
+  ResultCache::Stats cache;
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceConfig& config);
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Handle one request line, blocking until its reply is ready. Safe to
+  /// call from any number of threads. Never throws: every failure maps to
+  /// a typed error reply.
+  std::string handle(const std::string& request_line);
+
+  ServiceStats stats() const;
+
+  /// Serialize stats as the wire-format stats reply (single line).
+  static std::string stats_reply(const ServiceStats& stats);
+
+  /// Stop accepting work, fail queued requests with "shutting_down",
+  /// finish in-flight runs and join the workers. Idempotent.
+  void shutdown();
+
+  /// Write the merged per-worker Chrome trace. Only meaningful with
+  /// config.tracing; requires shutdown() to have completed (the per-worker
+  /// recorders are unsynchronized while workers live).
+  void export_trace(const std::string& path) const;
+
+  /// Test hook: runs on a worker right after it dequeues a request,
+  /// before the deadline check. Set before sending traffic.
+  void set_worker_hook(std::function<void()> hook);
+
+ private:
+  struct Flight {
+    std::promise<std::shared_ptr<const std::string>> promise;
+    std::shared_future<std::shared_ptr<const std::string>> future;
+  };
+  struct Pending {
+    SimulateSpec spec;
+    std::shared_ptr<const arch::MachineModel> machine;
+    CacheKey key;
+    std::shared_ptr<Flight> flight;
+    sim::Time admitted_ps = 0;  ///< real time at admission (trace clock)
+    double deadline_ms = 0.0;   ///< 0 = none
+  };
+
+  std::string handle_simulate(const SimulateSpec& spec);
+  /// Build-or-reuse the machine for `spec` (mutex_ held). Throws
+  /// ProtocolError on unknown names, bad INI or non-torus interconnects.
+  std::shared_ptr<const arch::MachineModel> resolve_machine_locked(
+      const SimulateSpec& spec, std::uint64_t* config_hash);
+  std::shared_ptr<const std::string> run_simulation(const Pending& pending,
+                                                    int worker_id);
+  void worker_loop(int worker_id);
+  /// Real time as picoseconds since construction — the trace time axis and
+  /// the deadline clock. (Server code; the simulation itself never reads
+  /// real time.)
+  sim::Time real_now_ps() const;
+  int slot_weight(const SimulateSpec& spec) const;
+  static double cost_estimate(const SimulateSpec& spec);
+
+  const ServiceConfig config_;
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  batch::JobQueue queue_;                 ///< pending-request planner
+  std::map<int, Pending> pending_;        ///< seq -> admitted request
+  std::vector<batch::Reservation> running_;
+  std::map<CacheKey, std::shared_ptr<Flight>> inflight_;
+  int free_slots_;
+  double virtual_now_ = 0.0;  ///< admission clock, ticks per dispatch
+  int next_seq_ = 0;
+  int active_ = 0;
+  std::size_t max_queue_depth_ = 0;
+  std::uint64_t received_ = 0, completed_ = 0, coalesced_ = 0, shed_ = 0,
+                timeouts_ = 0, errors_ = 0;
+  std::map<std::uint64_t, std::shared_ptr<const arch::MachineModel>>
+      machines_;  ///< config-hash -> immutable shared model
+  std::map<std::string, std::uint64_t> machine_labels_;  ///< memo -> hash
+  std::uint64_t machines_built_ = 0, machines_reused_ = 0;
+  std::function<void()> worker_hook_;
+
+  // Tracing: admission events under mutex_, one private recorder per
+  // worker, merged deterministically in export_trace().
+  std::unique_ptr<trace::Recorder> admission_rec_;
+  std::vector<std::unique_ptr<trace::Recorder>> worker_recs_;
+
+  std::vector<std::thread> threads_;
+  const std::int64_t epoch_ns_;  ///< steady-clock origin for real_now_ps()
+};
+
+}  // namespace ctesim::server

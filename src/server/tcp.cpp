@@ -1,0 +1,165 @@
+#include "server/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "server/protocol.h"
+#include "server/service.h"
+
+namespace ctesim::server {
+
+namespace {
+
+/// Milliseconds the accept loop sleeps in poll() between stop-flag checks —
+/// real time by necessity (socket readiness), never simulation state.
+constexpr int kAcceptPollMs = 100;
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; the connection loop will see EOF
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+TcpServer::TcpServer(Service& service, const TcpOptions& options)
+    : service_(service), options_(options) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("tcp: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("tcp: bad bind address " + options.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    throw std::runtime_error("tcp: bind/listen on " + options.bind_address +
+                             ":" + std::to_string(options.port) +
+                             " failed: " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::start() {
+  if (!accept_thread_.joinable()) {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+}
+
+void TcpServer::stop() {
+  if (stop_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TcpServer::accept_loop() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (stop_.load()) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stop_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void TcpServer::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stop_.load()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > options_.max_line_bytes &&
+        buffer.find('\n') == std::string::npos) {
+      send_all(fd, error_reply("oversized",
+                               "request line exceeds " +
+                                   std::to_string(options_.max_line_bytes) +
+                                   " bytes") +
+                       "\n");
+      break;  // framing is lost; drop the connection
+    }
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (line.size() > options_.max_line_bytes) {
+        send_all(fd, error_reply("oversized",
+                                 "request line exceeds " +
+                                     std::to_string(
+                                         options_.max_line_bytes) +
+                                     " bytes") +
+                         "\n");
+        open = false;
+        break;
+      }
+      send_all(fd, service_.handle(line) + "\n");
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+}
+
+}  // namespace ctesim::server

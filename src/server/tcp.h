@@ -1,0 +1,62 @@
+// TCP transport for the capacity-planning service: a listener thread
+// accepts connections on 127.0.0.1 (or a given address) and spawns one
+// thread per connection that reads newline-delimited request lines, hands
+// them to Service::handle() and writes the reply line back. A line longer
+// than max_line_bytes is answered with a typed "oversized" error and the
+// connection is closed (the framing cannot be trusted past that point).
+//
+// Port 0 binds an ephemeral port; port() reports the actual one (tests and
+// the CI smoke job use this to avoid collisions).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ctesim::server {
+
+class Service;
+
+struct TcpOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral, see TcpServer::port()
+  std::size_t max_line_bytes = 1 << 16;
+};
+
+class TcpServer {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on failure);
+  /// call start() to begin accepting. `service` must outlive the server.
+  TcpServer(Service& service, const TcpOptions& options);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The port actually bound (resolves port 0).
+  int port() const { return port_; }
+
+  void start();
+
+  /// Stop accepting, shut down live connections, join all threads.
+  /// Idempotent. Does not shut the Service down.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Service& service_;
+  const TcpOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace ctesim::server

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/json.h"
+
 namespace ctesim::trace {
 
 namespace {
@@ -21,6 +23,8 @@ const char* process_name(TrackKind kind) {
       return "nodes";
     case TrackKind::kJob:
       return "jobs";
+    case TrackKind::kWorker:
+      return "server workers";
   }
   return "?";
 }
@@ -90,38 +94,7 @@ void write_args(std::ostream& os, const std::string& detail,
 
 }  // namespace
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return json::escape(s); }
 
 void write_chrome_trace(const Recorder& recorder, std::ostream& os) {
   EventWriter events(os);
@@ -129,7 +102,7 @@ void write_chrome_trace(const Recorder& recorder, std::ostream& os) {
 
   // Metadata first: name the process of every track kind in use and the
   // thread of every track, so Perfetto shows "ranks / rank 0" lanes.
-  bool kind_seen[4] = {false, false, false, false};
+  bool kind_seen[kNumTrackKinds] = {};
   for (Track track : recorder.tracks()) {
     const auto kind = static_cast<std::size_t>(track.kind);
     if (!kind_seen[kind]) {

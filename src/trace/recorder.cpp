@@ -19,6 +19,8 @@ std::string label(Track track) {
       return "node " + std::to_string(track.index);
     case TrackKind::kJob:
       return "job " + std::to_string(track.index);
+    case TrackKind::kWorker:
+      return "worker " + std::to_string(track.index);
   }
   return "?";
 }
@@ -87,6 +89,49 @@ std::vector<Track> Recorder::tracks() const {
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
   return all;
+}
+
+void Recorder::merge_from(const std::vector<const Recorder*>& parts) {
+  for (const Recorder* part : parts) {
+    if (!part || part == this) continue;
+    spans_.insert(spans_.end(), part->spans_.begin(), part->spans_.end());
+    instants_.insert(instants_.end(), part->instants_.begin(),
+                     part->instants_.end());
+    counters_.insert(counters_.end(), part->counters_.begin(),
+                     part->counters_.end());
+  }
+  // Total orders over every field: the sorted lists depend only on the event
+  // multiset, so any partition of the same events merges to identical bytes.
+  std::sort(spans_.begin(), spans_.end(), [](const Span& a, const Span& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.end != b.end) return a.end < b.end;
+    if (!(a.track == b.track)) return a.track < b.track;
+    if (const int c = std::strcmp(a.category, b.category)) return c < 0;
+    if (a.name != b.name) return a.name < b.name;
+    if (a.detail != b.detail) return a.detail < b.detail;
+    if (a.bytes != b.bytes) return a.bytes < b.bytes;
+    return a.peer < b.peer;
+  });
+  std::sort(instants_.begin(), instants_.end(),
+            [](const Instant& a, const Instant& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (!(a.track == b.track)) return a.track < b.track;
+              if (const int c = std::strcmp(a.category, b.category)) {
+                return c < 0;
+              }
+              if (a.name != b.name) return a.name < b.name;
+              return a.detail < b.detail;
+            });
+  std::sort(counters_.begin(), counters_.end(),
+            [](const CounterSample& a, const CounterSample& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (!(a.track == b.track)) return a.track < b.track;
+              if (const int c = std::strcmp(a.category, b.category)) {
+                return c < 0;
+              }
+              if (const int c = std::strcmp(a.name, b.name)) return c < 0;
+              return a.value < b.value;
+            });
 }
 
 void Recorder::write_counters_csv(const std::string& path) const {

@@ -11,6 +11,12 @@
 // event sequence — and therefore every exported byte — is identical across
 // runs. A disabled Recorder (or a null pointer at the instrumentation site)
 // reduces every hook to one branch, so tracing costs nothing when off.
+//
+// A Recorder is NOT thread-safe. Concurrent producers (the server's worker
+// pool) each own a private Recorder and combine them with merge_from(),
+// which canonically orders events by (time, track, names, payload) — the
+// merged trace depends only on the *set* of recorded events, never on which
+// worker recorded what or in which order the parts are merged.
 #pragma once
 
 #include <cstdint>
@@ -29,7 +35,11 @@ enum class TrackKind : std::uint8_t {
   kRank,        ///< one simulated MPI rank
   kNode,        ///< one machine node
   kJob,         ///< one batch job
+  kWorker,      ///< one server worker thread (real time, not simulated)
 };
+
+/// Number of TrackKind values (sized arrays in the exporters).
+inline constexpr int kNumTrackKinds = 5;
 
 struct Track {
   TrackKind kind = TrackKind::kGlobal;
@@ -39,6 +49,7 @@ struct Track {
   static constexpr Track rank(int r) { return {TrackKind::kRank, r}; }
   static constexpr Track node(int n) { return {TrackKind::kNode, n}; }
   static constexpr Track job(int id) { return {TrackKind::kJob, id}; }
+  static constexpr Track worker(int w) { return {TrackKind::kWorker, w}; }
 
   bool operator==(const Track&) const = default;
   bool operator<(const Track& other) const {
@@ -127,6 +138,13 @@ class Recorder {
 
   /// Dump every counter sample as CSV: time_s,track,category,name,value.
   void write_counters_csv(const std::string& path) const;
+
+  /// Absorb the completed events of `parts` (plus anything already recorded
+  /// here) and canonically re-sort all three event lists, so the result is
+  /// identical for any partition of the same events across parts — the
+  /// deterministic-merge half of the one-Recorder-per-worker pattern. Open
+  /// begin() spans in the parts are ignored (close them before merging).
+  void merge_from(const std::vector<const Recorder*>& parts);
 
  private:
   bool enabled_;

@@ -1,0 +1,14 @@
+#include "util/hash.h"
+
+#include <cstdio>
+
+namespace ctesim {
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace ctesim

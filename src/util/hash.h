@@ -1,0 +1,39 @@
+// Stable 64-bit content hashing (FNV-1a) for cache keys. Unlike
+// std::hash, the result is specified: identical bytes hash identically on
+// every platform and standard library, so server cache keys — and the
+// config/workload hashes echoed in replies — are reproducible everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ctesim {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte string.
+constexpr std::uint64_t hash64(std::string_view bytes,
+                               std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Fold a 64-bit value into a running hash (for composite keys).
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Fixed-width lowercase hex spelling (16 chars), used in protocol replies.
+std::string hash_hex(std::uint64_t h);
+
+}  // namespace ctesim

@@ -1,10 +1,11 @@
-#include "trace/json.h"
+#include "util/json.h"
 
 #include <cctype>
 #include <charconv>
+#include <cstdio>
 #include <stdexcept>
 
-namespace ctesim::trace::json {
+namespace ctesim::json {
 
 namespace {
 
@@ -261,4 +262,43 @@ const Value* Value::find(const std::string& key) const {
 
 Value parse(std::string_view text) { return Parser(text).run(); }
 
-}  // namespace ctesim::trace::json
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+}  // namespace ctesim::json

@@ -1,7 +1,9 @@
-// Minimal recursive-descent JSON parser, used to validate that exported
-// Chrome traces are well-formed (tests round-trip every trace through it).
-// Full RFC 8259 value grammar; \uXXXX escapes are decoded to UTF-8.
-// Not a general-purpose library: optimized for clarity, not throughput.
+// Minimal JSON layer shared by the observability exporters and the server
+// protocol: a recursive-descent parser (full RFC 8259 value grammar, \uXXXX
+// escapes decoded to UTF-8) and a string escaper for composing documents.
+// Not a general-purpose library: optimized for clarity and determinism, not
+// throughput. Lived in trace/ until the server needed it; trace re-exports
+// its old spelling.
 #pragma once
 
 #include <string>
@@ -9,7 +11,7 @@
 #include <utility>
 #include <vector>
 
-namespace ctesim::trace::json {
+namespace ctesim::json {
 
 struct Value {
   enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -32,4 +34,11 @@ struct Value {
 /// std::runtime_error with a byte offset on malformed input.
 Value parse(std::string_view text);
 
-}  // namespace ctesim::trace::json
+/// Escape `s` for embedding inside a JSON string literal (no quotes added).
+std::string escape(const std::string& s);
+
+/// Format a double the way every ctesim JSON producer does ("%.12g"), so
+/// identical inputs serialize to identical bytes on every platform.
+std::string number(double value);
+
+}  // namespace ctesim::json

@@ -5,16 +5,19 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "arch/configs.h"
 #include "batch/cluster.h"
 #include "batch/workload.h"
 #include "core/engine.h"
 #include "trace/chrome.h"
-#include "trace/json.h"
 #include "trace/recorder.h"
+#include "util/json.h"
 #include "util/check.h"
 
 namespace ctesim::trace {
@@ -243,6 +246,90 @@ TEST(Chrome, WriteToUnopenablePathThrows) {
   Recorder rec;
   EXPECT_THROW(write_chrome_trace(rec, "/nonexistent-dir/trace.json"),
                std::runtime_error);
+}
+
+// --- per-worker recorder merging (the server's concurrency pattern) --------
+
+namespace {
+
+/// A little per-worker activity: one span, one instant, one counter sample.
+void record_worker(Recorder& rec, int worker, sim::Time base) {
+  const Track track = Track::worker(worker);
+  rec.span(track, "request", "simulate", "seed " + std::to_string(worker),
+           base, base + sim::kMillisecond);
+  rec.instant(track, "cache", "hit", "", base + 2 * sim::kMillisecond);
+  rec.counter(track, "queue", "depth", base, static_cast<double>(worker));
+}
+
+}  // namespace
+
+TEST(Recorder, MergeFromIsOrderIndependent) {
+  Recorder a, b, c;
+  record_worker(a, 0, 5 * sim::kMillisecond);
+  record_worker(b, 1, 1 * sim::kMillisecond);
+  record_worker(c, 2, 3 * sim::kMillisecond);
+
+  Recorder merged_abc;
+  merged_abc.merge_from({&a, &b, &c});
+  Recorder merged_cba;
+  merged_cba.merge_from({&c, &b, &a});
+
+  std::ostringstream out_abc, out_cba;
+  write_chrome_trace(merged_abc, out_abc);
+  write_chrome_trace(merged_cba, out_cba);
+  EXPECT_EQ(out_abc.str(), out_cba.str());  // byte-identical either way
+  EXPECT_EQ(merged_abc.spans().size(), 3u);
+  EXPECT_EQ(merged_abc.instants().size(), 3u);
+  EXPECT_EQ(merged_abc.counters().size(), 3u);
+  // Canonical order: sorted by start time, so b (1ms) leads.
+  EXPECT_EQ(merged_abc.spans()[0].detail, "seed 1");
+}
+
+TEST(Recorder, MergeFromKeepsOwnEventsAndSkipsOpenSpans) {
+  Recorder own;
+  own.span(Track::global(), "admission", "enqueue", "", 0, sim::kMillisecond);
+  Recorder part;
+  record_worker(part, 4, 2 * sim::kMillisecond);
+  part.begin(Track::worker(4), "request", "unfinished", "",
+             9 * sim::kMillisecond);  // still open: must not merge
+  own.merge_from({&part, nullptr});
+  EXPECT_EQ(own.spans().size(), 2u);
+  EXPECT_EQ(own.open_depth(Track::worker(4)), 0);
+}
+
+TEST(Recorder, MergeFromThreadedWritersIsDeterministic) {
+  // The real usage: each thread owns a private Recorder; after joining, a
+  // merge produces one canonical trace regardless of thread scheduling.
+  constexpr int kWorkers = 4;
+  std::string first;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::unique_ptr<Recorder>> recs;
+    for (int w = 0; w < kWorkers; ++w) {
+      recs.push_back(std::make_unique<Recorder>());
+    }
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWorkers; ++w) {
+      threads.emplace_back([&recs, w] {
+        for (int i = 0; i < 20; ++i) {
+          record_worker(*recs[w],
+                        w, (1 + i) * sim::kMillisecond + w * sim::kMicrosecond);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    Recorder merged;
+    std::vector<const Recorder*> parts;
+    for (const auto& rec : recs) parts.push_back(rec.get());
+    merged.merge_from(parts);
+    std::ostringstream out;
+    write_chrome_trace(merged, out);
+    if (round == 0) {
+      first = out.str();
+      EXPECT_EQ(merged.spans().size(), kWorkers * 20u);
+    } else {
+      EXPECT_EQ(out.str(), first);
+    }
+  }
 }
 
 }  // namespace
