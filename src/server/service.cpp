@@ -49,8 +49,10 @@ Service::Service(const ServiceConfig& config)
 
 Service::~Service() { shutdown(); }
 
+std::int64_t Service::real_now_ns() const { return steady_ns() - epoch_ns_; }
+
 sim::Time Service::real_now_ps() const {
-  return (steady_ns() - epoch_ns_) * sim::kNanosecond;
+  return real_now_ns() * sim::kNanosecond;
 }
 
 int Service::slot_weight(const SimulateSpec& spec) const {
@@ -208,7 +210,7 @@ std::string Service::handle_simulate(const SimulateSpec& spec) {
                                   ? spec.deadline_ms
                                   : config_.default_deadline_ms;
       pending_[seq] =
-          Pending{spec, std::move(machine), key, flight, real_now_ps(),
+          Pending{spec, std::move(machine), key, flight, real_now_ns(),
                   deadline};
       inflight_[key] = flight;
       max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
@@ -274,8 +276,7 @@ void Service::worker_loop(int worker_id) {
     Outcome outcome = Outcome::kCompleted;
     std::shared_ptr<const std::string> reply;
     const double waited_ms =
-        static_cast<double>(real_now_ps() - pending.admitted_ps) /
-        sim::kMillisecond;
+        static_cast<double>(real_now_ns() - pending.admitted_ns) / 1e6;
     if (pending.deadline_ms > 0.0 && waited_ms > pending.deadline_ms) {
       outcome = Outcome::kTimeout;
       reply = std::make_shared<const std::string>(error_reply(

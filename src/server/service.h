@@ -19,7 +19,10 @@
 //     turned on the server itself: a wide (expensive) request reserves
 //     several slots and cheap requests backfill around it.
 //   * Request coalescing: identical in-flight requests attach to one
-//     execution and all receive the same bytes.
+//     execution and all receive the same bytes — including the deadline
+//     outcome: a coalesced request inherits the original's queue-wait
+//     deadline, so an original that times out answers "timeout" to every
+//     coalesced caller too (documented in docs/SERVER.md).
 //   * Per-request queue-wait deadlines: a request that a worker picks up
 //     past its deadline is answered "timeout" instead of running late.
 //
@@ -125,8 +128,8 @@ class Service {
     std::shared_ptr<const arch::MachineModel> machine;
     CacheKey key;
     std::shared_ptr<Flight> flight;
-    sim::Time admitted_ps = 0;  ///< real time at admission (trace clock)
-    double deadline_ms = 0.0;   ///< 0 = none
+    std::int64_t admitted_ns = 0;  ///< real time at admission (ns clock)
+    double deadline_ms = 0.0;      ///< 0 = none
   };
 
   std::string handle_simulate(const SimulateSpec& spec);
@@ -137,9 +140,13 @@ class Service {
   std::shared_ptr<const std::string> run_simulation(const Pending& pending,
                                                     int worker_id);
   void worker_loop(int worker_id);
-  /// Real time as picoseconds since construction — the trace time axis and
-  /// the deadline clock. (Server code; the simulation itself never reads
-  /// real time.)
+  /// Real time as nanoseconds since construction — the deadline clock.
+  /// (Server code; the simulation itself never reads real time.)
+  std::int64_t real_now_ns() const;
+  /// Real time as picoseconds since construction — the trace time axis
+  /// only. ps in a signed 64-bit sim::Time wraps after ~106 days of
+  /// uptime; deadline math therefore stays on the ns clock above, and
+  /// past that bound only trace timestamps degrade.
   sim::Time real_now_ps() const;
   int slot_weight(const SimulateSpec& spec) const;
   static double cost_estimate(const SimulateSpec& spec);

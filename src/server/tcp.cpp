@@ -22,14 +22,19 @@ namespace {
 /// real time by necessity (socket readiness), never simulation state.
 constexpr int kAcceptPollMs = 100;
 
-void send_all(int fd, const std::string& bytes) {
+/// Writes the whole reply or reports failure. A short write means the
+/// line framing on this connection can no longer be trusted, so the
+/// caller must close it rather than keep serving.
+bool send_all(int fd, const std::string& bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer gone; the connection loop will see EOF
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // peer gone or unrecoverable error
     sent += static_cast<std::size_t>(n);
   }
+  return true;
 }
 
 }  // namespace
@@ -88,12 +93,13 @@ void TcpServer::stop() {
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
+  std::map<std::uint64_t, std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     threads.swap(conn_threads_);
+    finished_ids_.clear();
   }
-  for (auto& thread : threads) {
+  for (auto& [id, thread] : threads) {
     if (thread.joinable()) thread.join();
   }
   if (listen_fd_ >= 0) {
@@ -102,8 +108,29 @@ void TcpServer::stop() {
   }
 }
 
+void TcpServer::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const std::uint64_t id : finished_ids_) {
+      auto it = conn_threads_.find(id);
+      if (it == conn_threads_.end()) continue;
+      done.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
+    finished_ids_.clear();
+  }
+  // These threads announced completion before unwinding, so each join
+  // returns (almost) immediately; without it a long-running server would
+  // accumulate an exited-but-unjoined handle per connection ever served.
+  for (auto& thread : done) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
 void TcpServer::accept_loop() {
   while (!stop_.load()) {
+    reap_finished();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kAcceptPollMs);
     if (stop_.load()) break;
@@ -115,12 +142,16 @@ void TcpServer::accept_loop() {
       ::close(fd);
       break;
     }
+    const std::uint64_t id = next_conn_id_++;
     conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+    conn_threads_.emplace(id,
+                          std::thread([this, id, fd] {
+                            serve_connection(id, fd);
+                          }));
   }
 }
 
-void TcpServer::serve_connection(int fd) {
+void TcpServer::serve_connection(std::uint64_t id, int fd) {
   std::string buffer;
   char chunk[4096];
   bool open = true;
@@ -153,13 +184,21 @@ void TcpServer::serve_connection(int fd) {
         open = false;
         break;
       }
-      send_all(fd, service_.handle(line) + "\n");
+      if (!send_all(fd, service_.handle(line) + "\n")) {
+        open = false;  // partial reply would corrupt the line framing
+        break;
+      }
     }
   }
+  {
+    // Deregister before close so stop() never shutdown()s a recycled fd,
+    // and announce completion so the accept loop can join this thread.
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    auto it = std::find(conn_fds_.begin(), conn_fds_.end(), fd);
+    if (it != conn_fds_.end()) conn_fds_.erase(it);
+    finished_ids_.push_back(id);
+  }
   ::close(fd);
-  std::lock_guard<std::mutex> lock(conn_mutex_);
-  conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd),
-                  conn_fds_.end());
 }
 
 }  // namespace ctesim::server

@@ -11,6 +11,8 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -46,7 +48,10 @@ class TcpServer {
 
  private:
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(std::uint64_t id, int fd);
+  /// Join connection threads that have announced completion (accept loop
+  /// housekeeping, and final sweep in stop()).
+  void reap_finished();
 
   Service& service_;
   const TcpOptions options_;
@@ -55,8 +60,10 @@ class TcpServer {
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
   std::mutex conn_mutex_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;  ///< live sockets, shutdown() by stop()
+  std::uint64_t next_conn_id_ = 0;
+  std::map<std::uint64_t, std::thread> conn_threads_;
+  std::vector<std::uint64_t> finished_ids_;  ///< done, awaiting join
 };
 
 }  // namespace ctesim::server

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -389,6 +390,27 @@ TEST(Tcp, ConcurrentClients) {
   for (auto& reply : replies) distinct.insert(reply.get());
   EXPECT_EQ(distinct.size(), 2u);  // one reply per seed, shared bytes
   tcp.stop();
+  service.shutdown();
+}
+
+TEST(Tcp, StopAfterEarlierClientDisconnects) {
+  // Regression: deregistering a closed connection used to erase every fd
+  // registered after it, so stop() never shut later connections down and
+  // hung forever joining their recv()-blocked threads.
+  Service service(small_config());
+  TcpServer tcp(service, TcpOptions{});
+  tcp.start();
+  auto first = std::make_unique<Client>("127.0.0.1", tcp.port());
+  Client second("127.0.0.1", tcp.port());  // accepted after `first`
+  EXPECT_EQ(first->request("{\"op\":\"ping\"}"),
+            "{\"op\":\"ping\",\"status\":\"ok\"}");
+  first.reset();  // disconnect while `second` stays connected and idle
+  // Give the server's connection thread time to observe the EOF and
+  // deregister; the bug triggers only once that cleanup has run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(second.request("{\"op\":\"ping\"}"),
+            "{\"op\":\"ping\",\"status\":\"ok\"}");
+  tcp.stop();  // must shut `second`'s socket down and return, not hang
   service.shutdown();
 }
 
