@@ -20,6 +20,7 @@
 #include "batch/metrics.h"
 #include "batch/workload.h"
 #include "bench_common.h"
+#include "power/power_model.h"
 #include "report/table.h"
 #include "sched/allocator.h"
 #include "trace/chrome.h"
@@ -78,7 +79,8 @@ int main(int argc, char** argv) {
           " queue — placement policy comparison",
       {"placement", "util", "goodput", "avail", "makespan [h]",
        "wait mean [s]", "wait p95 [s]", "wait p99 [s]", "bsld mean",
-       "bsld p95", "hops", "slowdown", "frag", "wasted [nh]", "killed"});
+       "bsld p95", "hops", "slowdown", "frag", "wasted [nh]", "killed",
+       "energy [MJ]", "power [kW]"});
   std::unique_ptr<CsvWriter> csv;
   if (!csv_path.empty()) {
     csv = std::make_unique<CsvWriter>(
@@ -89,10 +91,14 @@ int main(int argc, char** argv) {
                                  "p99_wait_s", "mean_bsld", "p95_bsld",
                                  "p99_bsld", "mean_hops",
                                  "mean_placement_slowdown", "time_avg_frag",
-                                 "interrupted", "failed", "killed"});
+                                 "interrupted", "failed", "killed",
+                                 "energy_to_solution_j", "mean_power_w"});
   }
 
   trace::Recorder recorder(!trace_path.empty());
+  // Scattered placements also cost joules: jobs hold (and power) their
+  // nodes longer, so the placement gap shows up in energy-to-solution too.
+  const power::PowerModel power = power::default_power(model.machine());
   double bsld_contiguous = 0.0, bsld_random = 0.0;
   for (auto placement :
        {sched::Policy::kContiguous, sched::Policy::kLinear,
@@ -101,6 +107,7 @@ int main(int argc, char** argv) {
     options.placement = placement;
     options.queue = queue;
     options.seed = static_cast<std::uint64_t>(seed);
+    options.power = &power;
     // The trace covers one run; overlaying all three placements on the
     // same time axis would be unreadable.
     if (placement == sched::Policy::kContiguous && recorder.enabled()) {
@@ -121,7 +128,9 @@ int main(int argc, char** argv) {
                report::fixed(m.mean_placement_slowdown, 3),
                report::fixed(m.time_avg_fragmentation, 3),
                report::fixed(m.wasted_node_h, 1),
-               std::to_string(m.killed)});
+               std::to_string(m.killed),
+               report::fixed(m.energy_to_solution_j / 1e6, 2),
+               report::fixed(m.mean_power_w / 1e3, 2)});
     if (csv) {
       csv->row(std::vector<std::string>{
           sched::name_of(placement), batch::name_of(queue),
@@ -137,7 +146,9 @@ int main(int argc, char** argv) {
           report::fixed(m.mean_placement_slowdown, 4),
           report::fixed(m.time_avg_fragmentation, 4),
           std::to_string(m.interrupted), std::to_string(m.failed),
-          std::to_string(m.killed)});
+          std::to_string(m.killed),
+          report::fixed(m.energy_to_solution_j, 1),
+          report::fixed(m.mean_power_w, 1)});
     }
     if (placement == sched::Policy::kContiguous) {
       bsld_contiguous = m.mean_bounded_slowdown;

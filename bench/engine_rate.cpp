@@ -20,6 +20,7 @@
 #include "arch/configs.h"
 #include "batch/cluster.h"
 #include "batch/workload.h"
+#include "power/power_model.h"
 #include "util/json.h"
 
 namespace {
@@ -55,6 +56,38 @@ void BM_ClusterEngine(benchmark::State& state) {
 
 BENCHMARK(BM_ClusterEngine)
     ->Arg(kCanonicalJobs / 4)
+    ->Arg(kCanonicalJobs)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same canonical run with the energy layer on: what the per-event
+/// power accounting costs. tools/perf/check_engine_rate.py holds this
+/// within 10% of the plain run.
+void BM_ClusterEnginePower(benchmark::State& state) {
+  const batch::RuntimeModel model(arch::cte_arm());
+  batch::WorkloadConfig config;
+  config.num_jobs = static_cast<int>(state.range(0));
+  config.mean_interarrival_s = 16.0;
+  config.burst_fraction = 0.3;
+  const auto stream = batch::generate(config, model, 1);
+  const power::PowerModel power = power::default_power(model.machine());
+  batch::ClusterOptions options;
+  options.seed = 1;
+  options.power = &power;
+
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto result = batch::run_cluster(model, stream, options);
+    events += result.engine_events;
+    benchmark::DoNotOptimize(result.engine_events);
+  }
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["events_per_run"] = benchmark::Counter(
+      static_cast<double>(events) /
+      static_cast<double>(state.iterations()));
+}
+
+BENCHMARK(BM_ClusterEnginePower)
     ->Arg(kCanonicalJobs)
     ->Unit(benchmark::kMillisecond);
 

@@ -12,6 +12,7 @@
 #include "core/time.h"
 #include "fault/validate.h"
 #include "io/filesystem.h"
+#include "power/attribution.h"
 #include "trace/recorder.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -42,6 +43,8 @@ struct JobState {
   double busy_node_s = 0.0;
   double useful_node_s = 0.0;
   double wasted_node_s = 0.0;
+  double energy_j = 0.0;         ///< all attempts (power layer on)
+  double wasted_energy_j = 0.0;  ///< killed / unpreserved share of energy_j
 };
 
 /// One attempt of one job, currently holding nodes.
@@ -60,6 +63,12 @@ struct Attempt {
   bool restarting = false;
   fault::CheckpointCost ckpt;
   std::uint64_t epoch = 0;  ///< invalidates stale completion events
+  /// Per-node power draw, constant for the attempt (power layer on).
+  /// Degradation stretches the attempt in time but not in watts, so the
+  /// cluster draw never rises after a start — the allocation-time cap
+  /// check is sufficient on a fault-free machine.
+  power::JobDraw draw;
+  double freq_scale = 1.0;  ///< DVFS point this attempt runs at
 };
 
 }  // namespace
@@ -76,6 +85,13 @@ ClusterResult run_cluster(const RuntimeModel& model,
   CTESIM_EXPECTS(options.requeue_backoff_s >= 0.0);
   fault::validate_or_throw(options.checkpoint);
   if (options.faults) options.faults->validate_or_throw(total_nodes);
+  if (options.power) power::validate_or_throw(*options.power);
+  CTESIM_EXPECTS(options.dvfs.freq_scale > 0.0 &&
+                 options.dvfs.freq_scale <= 1.0);
+  CTESIM_EXPECTS(options.power_cap_w >= 0.0);
+  // A cap (and cap-driven downclocking) is meaningless without coefficients.
+  CTESIM_EXPECTS(options.power_cap_w <= 0.0 || options.power != nullptr);
+  CTESIM_EXPECTS(!options.dvfs_backfill || options.power != nullptr);
 
   sim::Engine engine;
   sched::Allocator allocator(model.topology());
@@ -98,11 +114,62 @@ ClusterResult run_cluster(const RuntimeModel& model,
 
   const auto now_s = [&] { return sim::to_seconds(engine.now()); };
 
+  // --- energy accounting ----------------------------------------------
+  // The cluster draw is piecewise constant between events: running
+  // attempts each contribute a constant per-node draw, every in-service
+  // unallocated node draws the idle floor, drained nodes draw nothing.
+  // advance_energy() integrates the standing draw up to `now` and must run
+  // before any power-affecting state change (start, end, fail, repair);
+  // repeated calls at one timestamp are no-ops.
+  const power::PowerModel* pm = options.power;
+  const bool powered = pm != nullptr;
+  const double idle_node_w =
+      powered ? pm->node_idle(model.machine().node).value() : 0.0;
+  double cluster_cpu_w = 0.0;
+  double cluster_mem_w = 0.0;
+  double cluster_net_w = 0.0;
+  double last_power_t = 0.0;
+  EnergyTotals energy;
+
+  const auto cluster_draw_w = [&] {
+    return cluster_cpu_w + cluster_mem_w + cluster_net_w +
+           allocator.free_nodes() * idle_node_w;
+  };
+
+  const auto advance_energy = [&] {
+    if (!powered) return;
+    const double t = now_s();
+    const double dt = t - last_power_t;
+    if (dt > 0.0) {
+      energy.cpu_j += cluster_cpu_w * dt;
+      energy.mem_j += cluster_mem_w * dt;
+      energy.net_j += cluster_net_w * dt;
+      energy.idle_j += allocator.free_nodes() * idle_node_w * dt;
+    }
+    last_power_t = t;
+  };
+
+  const auto add_draw = [&](const Attempt& a) {
+    if (!powered) return;
+    cluster_cpu_w += a.job.nodes * a.draw.cpu_w.value();
+    cluster_mem_w += a.job.nodes * a.draw.mem_w.value();
+    cluster_net_w += a.job.nodes * a.draw.net_w.value();
+  };
+
+  const auto remove_draw = [&](const Attempt& a) {
+    if (!powered) return;
+    cluster_cpu_w -= a.job.nodes * a.draw.cpu_w.value();
+    cluster_mem_w -= a.job.nodes * a.draw.mem_w.value();
+    cluster_net_w -= a.job.nodes * a.draw.net_w.value();
+  };
+
   const auto sample = [&] {
     const int busy = total_nodes - allocator.free_nodes() -
                      allocator.drained_count();
+    const double power_w = powered ? cluster_draw_w() : 0.0;
+    if (powered) energy.peak_w = std::max(energy.peak_w, power_w);
     result.frag_timeline.push_back({now_s(), allocator.fragmentation(), busy,
-                                    allocator.drained_count()});
+                                    allocator.drained_count(), power_w});
     if (tracing) {
       const auto track = trace::Track::global();
       const sim::Time now = engine.now();
@@ -121,6 +188,14 @@ ClusterResult run_cluster(const RuntimeModel& model,
       rec->counter(track, "fault", "wasted_work", now, total_wasted_node_s);
       rec->counter(track, "fault", "interrupted_jobs", now,
                    static_cast<double>(total_interruptions));
+      if (powered) {
+        rec->counter(track, "power", "cluster_watts", now, power_w);
+        rec->counter(track, "power", "energy_j", now,
+                     energy.cpu_j + energy.mem_j + energy.net_j +
+                         energy.idle_j);
+        rec->counter(track, "power", "capped_jobs", now,
+                     static_cast<double>(energy.capped_starts));
+      }
     }
   };
 
@@ -168,6 +243,9 @@ ClusterResult run_cluster(const RuntimeModel& model,
     record.busy_node_s = st.busy_node_s;
     record.useful_node_s = st.useful_node_s;
     record.wasted_node_s = st.wasted_node_s;
+    record.energy_j = st.energy_j;
+    record.wasted_energy_j = st.wasted_energy_j;
+    record.dvfs_freq_scale = a.freq_scale;
     result.records.push_back(record);
   };
 
@@ -190,11 +268,21 @@ ClusterResult run_cluster(const RuntimeModel& model,
           const auto it = running.find(id);
           if (it == running.end() || it->second.epoch != epoch) return;
           Attempt& att = it->second;
+          advance_energy();
           accrue(att);
           JobState& st = job_states[id];
           const double end = now_s();
           const double elapsed = end - att.start_s;
           st.busy_node_s += elapsed * att.job.nodes;
+          if (powered) {
+            const double attempt_j =
+                att.job.nodes * att.draw.total().value() * elapsed;
+            st.energy_j += attempt_j;
+            if (killed) {
+              st.wasted_energy_j += attempt_j;
+              energy.wasted_j += attempt_j;
+            }
+          }
           if (killed) {
             st.wasted_node_s += elapsed * att.job.nodes;
             total_wasted_node_s += elapsed * att.job.nodes;
@@ -216,6 +304,7 @@ ClusterResult run_cluster(const RuntimeModel& model,
           finalize(att, killed ? EndReason::kWalltimeKilled
                                : EndReason::kCompleted,
                    end);
+          remove_draw(att);
           allocator.release(static_cast<std::uint64_t>(id));
           running.erase(it);
           sample();
@@ -223,7 +312,24 @@ ClusterResult run_cluster(const RuntimeModel& model,
         });
   };
 
+  /// Would starting `job` at DVFS state `s` keep the cluster under the
+  /// power cap? Estimated with the compact reference runtime — placement
+  /// scatter only stretches the actual runtime, which can only *lower* the
+  /// traffic-rate (memory) draw, so the estimate is an upper bound and the
+  /// cap holds for whatever allocation the job ends up with.
+  const auto fits_cap = [&](const Job& job, const power::DvfsState& s) {
+    const double est_runtime =
+        model.reference_runtime(job, s.freq_scale);
+    const power::JobDraw d = power::job_draw(
+        model.machine().node, *pm, s, model.traffic_bytes_per_node(job),
+        est_runtime, job.profile.comm_fraction);
+    // The job's nodes stop drawing the idle floor when they go busy.
+    const double delta_w = job.nodes * (d.total().value() - idle_node_w);
+    return cluster_draw_w() + delta_w <= options.power_cap_w;
+  };
+
   try_start = [&] {
+    advance_energy();
     while (true) {
       const double t = now_s();
       std::vector<Reservation> reservations;
@@ -235,6 +341,41 @@ ClusterResult run_cluster(const RuntimeModel& model,
       const int pos =
           queue.next_startable(t, allocator.free_nodes(), reservations);
       if (pos < 0) break;
+
+      // Power-aware gate: the queue said the job fits the *nodes*; check it
+      // also fits the *watts* before committing the allocation. An empty
+      // machine is exempt — a head job that alone exceeds the cap must
+      // still run eventually or the queue deadlocks.
+      power::DvfsState dstate = options.dvfs;
+      bool downclocked = false;
+      if (powered && options.power_cap_w > 0.0 &&
+          !(running.empty() && pos == 0)) {
+        const Job& candidate = queue.at(pos);
+        if (!fits_cap(candidate, dstate)) {
+          bool rescued = false;
+          if (options.dvfs_backfill) {
+            // Energy-aware backfill: walk the ladder below the configured
+            // point and take the first (shallowest) state that fits —
+            // deeper states draw strictly less, so the walk is monotone.
+            for (const power::DvfsState& s : power::dvfs_states()) {
+              if (s.freq_scale >= dstate.freq_scale) continue;
+              if (fits_cap(candidate, s)) {
+                dstate = s;
+                rescued = true;
+                downclocked = true;
+                break;
+              }
+            }
+          }
+          if (!rescued) {
+            // Deferred, not rejected: re-evaluated when the next completion
+            // or repair frees watts.
+            ++energy.capped_starts;
+            break;
+          }
+        }
+      }
+
       const Job job = queue.pop(pos);
       JobState& st = job_states[job.id];
       const auto nodes = allocator.allocate(
@@ -249,13 +390,22 @@ ClusterResult run_cluster(const RuntimeModel& model,
       a.last_update_s = t;
       a.mean_hops = allocator.mean_pairwise_hops(nodes);
       a.placement_slowdown = model.slowdown(job, a.mean_hops);
-      a.full_runtime_s = model.runtime(job, a.mean_hops);
+      a.freq_scale = dstate.freq_scale;
+      a.full_runtime_s = model.runtime(job, a.mean_hops, dstate.freq_scale);
       a.work_s = (1.0 - st.done_fraction) * a.full_runtime_s;
       a.ckpt = fault::resolve(options.checkpoint, fs, job.nodes);
       a.restarting = st.attempts_started > 0;
       a.eff_required_s =
           fault::attempt_duration(a.work_s, a.ckpt, a.restarting);
       a.rate = rate_for(a);
+      if (powered) {
+        a.draw = power::job_draw(
+            model.machine().node, *pm, dstate,
+            model.traffic_bytes_per_node(job), a.full_runtime_s,
+            job.profile.comm_fraction);
+        add_draw(a);
+        if (downclocked) ++energy.downclocked_jobs;
+      }
       if (!st.ever_started) {
         st.ever_started = true;
         st.first_start_s = t;
@@ -280,6 +430,7 @@ ClusterResult run_cluster(const RuntimeModel& model,
   /// A node died: interrupt its job (restart from the last checkpoint,
   /// requeue within the retry budget) and drain the node from service.
   const auto handle_node_fail = [&](int node) {
+    advance_energy();
     const double t = now_s();
     int victim = -1;
     for (const auto& [id, a] : running) {
@@ -299,6 +450,19 @@ ClusterResult run_cluster(const RuntimeModel& model,
       st.useful_node_s += preserved * a.job.nodes;
       st.wasted_node_s += (elapsed - preserved) * a.job.nodes;
       total_wasted_node_s += (elapsed - preserved) * a.job.nodes;
+      if (powered) {
+        const double attempt_j =
+            a.job.nodes * a.draw.total().value() * elapsed;
+        st.energy_j += attempt_j;
+        // The checkpoint preserved `preserved` of `elapsed` seconds of
+        // progress; the energy of the rest bought nothing.
+        const double wasted_j =
+            elapsed > 0.0 ? attempt_j * (elapsed - preserved) / elapsed
+                          : 0.0;
+        st.wasted_energy_j += wasted_j;
+        energy.wasted_j += wasted_j;
+        remove_draw(a);
+      }
       st.done_fraction += preserved / a.full_runtime_s;
       ++st.interruptions;
       ++total_interruptions;
@@ -340,6 +504,7 @@ ClusterResult run_cluster(const RuntimeModel& model,
   };
 
   const auto handle_node_repair = [&](int node) {
+    advance_energy();
     allocator.return_to_service(node);
     down_nodes.erase(node);
     if (tracing) {
@@ -454,6 +619,14 @@ ClusterResult run_cluster(const RuntimeModel& model,
   }
   result.makespan_s =
       result.records.empty() ? 0.0 : last_end - first_arrival;
+  if (powered) {
+    // Integration stopped at the last event; the machine idles forever
+    // after, so the window is exactly [0, last event].
+    energy.total_j =
+        energy.cpu_j + energy.mem_j + energy.net_j + energy.idle_j;
+    result.has_power = true;
+    result.energy = energy;
+  }
   return result;
 }
 

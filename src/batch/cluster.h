@@ -25,6 +25,7 @@
 #include "batch/runtime.h"
 #include "fault/checkpoint.h"
 #include "fault/fault.h"
+#include "power/power_model.h"
 #include "sched/allocator.h"
 
 namespace ctesim::trace {
@@ -58,6 +59,24 @@ struct ClusterOptions {
   int max_retries = 3;
   /// Delay before an interrupted job re-enters the queue, seconds.
   double requeue_backoff_s = 10.0;
+
+  // --- power & energy -----------------------------------------------------
+  /// Power coefficients for the machine; nullptr = energy accounting off,
+  /// and every result (metrics, trace) is byte-identical to a power-less
+  /// run. Must outlive run_cluster(); validated on entry.
+  const power::PowerModel* power = nullptr;
+  /// Operating point every job runs at (the cluster-wide DVFS setting).
+  /// The default is the nominal no-op; downclocked states stretch each
+  /// job's modeled runtime through RuntimeModel and shrink its core power.
+  power::DvfsState dvfs;
+  /// Cluster-wide power cap in watts, enforced at allocation time: a job
+  /// whose estimated draw would push the cluster total past the cap does
+  /// not start, even if nodes are free. 0 = uncapped. Requires `power`.
+  double power_cap_w = 0.0;
+  /// With a cap: let a power-blocked start (the head or a backfill
+  /// candidate) proceed anyway at the shallowest DVFS state whose draw
+  /// fits under the cap, trading the job's own runtime for queue time.
+  bool dvfs_backfill = false;
 };
 
 /// Machine state right after a job started or finished, or a fault event.
@@ -66,6 +85,24 @@ struct FragSample {
   double fragmentation = 0.0;  ///< sched::Allocator::fragmentation()
   int busy_nodes = 0;
   int down_nodes = 0;  ///< drained (failed) nodes at this instant
+  double power_w = 0.0;  ///< cluster draw at this instant (0: power off)
+};
+
+/// Cluster-wide energy accounting, piecewise-constant-integrated over the
+/// run's event timeline. Components sum to total_j by construction.
+struct EnergyTotals {
+  double cpu_j = 0.0;     ///< running jobs' core + uncore + base energy
+  double mem_j = 0.0;     ///< traffic-proportional DRAM/HBM energy
+  double net_j = 0.0;     ///< comm-share link energy
+  double idle_j = 0.0;    ///< in-service unallocated nodes at idle draw
+  double total_j = 0.0;   ///< cpu + mem + net + idle
+  /// Share of total_j burned without result (wall-time-killed attempts,
+  /// unpreserved work of interrupted attempts) — already inside the
+  /// component sums, not in addition to them.
+  double wasted_j = 0.0;
+  double peak_w = 0.0;    ///< max cluster draw over the timeline
+  int capped_starts = 0;  ///< start attempts deferred by the power cap
+  int downclocked_jobs = 0;  ///< backfills started below nominal frequency
 };
 
 struct ClusterResult {
@@ -75,6 +112,8 @@ struct ClusterResult {
   /// Discrete events the engine dispatched for this run — the denominator
   /// of the events/sec figure bench/engine_rate tracks (ROADMAP item 1).
   std::uint64_t engine_events = 0;
+  bool has_power = false;  ///< energy layer was on (options.power set)
+  EnergyTotals energy;     ///< all zero unless has_power
 };
 
 /// Simulate the full stream. Deterministic: identical (model, jobs,

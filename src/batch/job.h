@@ -72,6 +72,16 @@ struct JobRecord {
   /// attempts, the whole of a wall-time-killed attempt.
   double wasted_node_s = 0.0;
 
+  // --- energy accounting (zero unless ClusterOptions::power is set) -------
+  /// Joules this job drew over every attempt (CPU + memory + network).
+  double energy_j = 0.0;
+  /// Joules burned without result: the unpreserved share of interrupted
+  /// attempts plus whole wall-time-killed attempts.
+  double wasted_energy_j = 0.0;
+  /// Frequency scale the final attempt ran at (< 1: the power-aware
+  /// scheduler downclocked this job to fit under the cluster power cap).
+  double dvfs_freq_scale = 1.0;
+
   /// Floored at 0: sub-picosecond engine rounding must not produce -0.0.
   double wait_s() const {
     const double w = start_s - job.arrival_s;

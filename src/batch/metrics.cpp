@@ -94,6 +94,21 @@ ClusterMetrics summarize(const ClusterResult& result, int total_nodes,
       m.availability = 1.0 - down_integral / (span * total_nodes);
     }
   }
+
+  if (result.has_power) {
+    const EnergyTotals& e = result.energy;
+    m.energy_to_solution_j = e.total_j;
+    m.edp_js = e.total_j * m.makespan_s;
+    if (m.makespan_s > 0.0) m.mean_power_w = e.total_j / m.makespan_s;
+    m.peak_power_w = e.peak_w;
+    m.wasted_energy_j = e.wasted_j;
+    m.cpu_energy_j = e.cpu_j;
+    m.mem_energy_j = e.mem_j;
+    m.net_energy_j = e.net_j;
+    m.idle_energy_j = e.idle_j;
+    m.capped_starts = e.capped_starts;
+    m.downclocked_jobs = e.downclocked_jobs;
+  }
   return m;
 }
 

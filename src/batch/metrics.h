@@ -38,6 +38,22 @@ struct ClusterMetrics {
   double mean_placement_slowdown = 0.0;
   /// Time-averaged sched::Allocator::fragmentation() over the run.
   double time_avg_fragmentation = 0.0;
+
+  // --- energy (all zero unless the run had ClusterOptions::power) ---------
+  double energy_to_solution_j = 0.0;  ///< whole-run energy, idle included
+  /// Energy-delay product, J*s: energy-to-solution × makespan. The figure
+  /// of merit DVFS sweeps optimize — frequency states trade its factors.
+  double edp_js = 0.0;
+  double mean_power_w = 0.0;  ///< energy-to-solution / makespan
+  double peak_power_w = 0.0;  ///< max cluster draw over the timeline
+  /// Joules burned without result (killed attempts, unpreserved work).
+  double wasted_energy_j = 0.0;
+  double cpu_energy_j = 0.0;   ///< running jobs' core + uncore + base
+  double mem_energy_j = 0.0;   ///< traffic-proportional DRAM/HBM
+  double net_energy_j = 0.0;   ///< comm-share link energy
+  double idle_energy_j = 0.0;  ///< unallocated in-service nodes
+  int capped_starts = 0;       ///< starts deferred by the power cap
+  int downclocked_jobs = 0;    ///< backfills started below nominal
 };
 
 /// Summarize a finished run; `total_nodes` is the machine size the

@@ -83,6 +83,12 @@ int JobQueue::next_startable(double now_s, int free_nodes,
   return -1;
 }
 
+const Job& JobQueue::at(int position) const {
+  CTESIM_EXPECTS(position >= 0 &&
+                 position < static_cast<int>(queue_.size()));
+  return queue_[static_cast<std::size_t>(position)];
+}
+
 Job JobQueue::pop(int position) {
   CTESIM_EXPECTS(position >= 0 &&
                  position < static_cast<int>(queue_.size()));

@@ -55,6 +55,10 @@ class JobQueue {
   double shadow_time(double now_s, int free_nodes,
                      const std::vector<Reservation>& running) const;
 
+  /// The job at `position` (from next_startable), without removing it —
+  /// the power-aware scheduler peeks before committing nodes and power.
+  const Job& at(int position) const;
+
   /// Remove and return the job at `position` (from next_startable).
   Job pop(int position);
 

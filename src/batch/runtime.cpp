@@ -17,7 +17,27 @@ RuntimeModel::RuntimeModel(const arch::MachineModel& machine)
   CTESIM_EXPECTS(topology_.num_nodes() == machine.num_nodes);
 }
 
-double RuntimeModel::base_runtime(const Job& job) const {
+const roofline::ExecModel& RuntimeModel::exec_at(double freq_scale) const {
+  // 1.0 (and anything above: states are downclocks) is the base model —
+  // exact, not a freshly built copy, so DVFS-off runs are bit-identical.
+  if (freq_scale >= 1.0) return exec_;
+  CTESIM_EXPECTS(freq_scale > 0.0);
+  const auto it = dvfs_exec_cache_.find(freq_scale);
+  if (it != dvfs_exec_cache_.end()) return it->second;
+  // Core DVFS scales the clock (and with it peak FLOP rate and L1/L2
+  // bandwidth derived from it); HBM bandwidth is on its own domain and
+  // does not move — that asymmetry is the whole DVFS story (compute-bound
+  // stretches, memory-bound does not).
+  arch::NodeModel scaled = machine_.node;
+  scaled.core.freq_ghz *= freq_scale;
+  const auto [pos, inserted] = dvfs_exec_cache_.emplace(
+      freq_scale,
+      roofline::ExecModel(scaled, arch::default_app_compiler(machine_)));
+  CTESIM_EXPECTS(inserted);
+  return pos->second;
+}
+
+double RuntimeModel::base_runtime(const Job& job, double freq_scale) const {
   if (job.fixed_runtime_s > 0.0) return job.fixed_runtime_s;
   const JobProfile& p = job.profile;
   CTESIM_EXPECTS(p.elems_per_node > 0.0 && p.iterations >= 1);
@@ -28,14 +48,22 @@ double RuntimeModel::base_runtime(const Job& job) const {
   const auto placement =
       mpi::Placement::per_node(machine_.node, job.nodes);
   const units::Seconds t_iter =
-      exec_.time(p.sig, p.elems_per_node, placement.slot(0).cores);
+      exec_at(freq_scale).time(p.sig, p.elems_per_node,
+                               placement.slot(0).cores);
   // comm_fraction is the communication share at the compact reference, so
   // compute is the (1 - f) remainder of the total.
   return (p.iterations * t_iter / (1.0 - p.comm_fraction)).value();
 }
 
-double RuntimeModel::reference_runtime(const Job& job) const {
-  return base_runtime(job);
+double RuntimeModel::reference_runtime(const Job& job,
+                                       double freq_scale) const {
+  return base_runtime(job, freq_scale);
+}
+
+double RuntimeModel::traffic_bytes_per_node(const Job& job) const {
+  if (job.fixed_runtime_s > 0.0) return 0.0;
+  const JobProfile& p = job.profile;
+  return p.elems_per_node * p.sig.bytes_per_elem * p.iterations;
 }
 
 double RuntimeModel::slowdown(const Job& job, double hops) const {
@@ -45,8 +73,9 @@ double RuntimeModel::slowdown(const Job& job, double hops) const {
   return std::max(1.0, 1.0 + f * (hops / ref - 1.0));
 }
 
-double RuntimeModel::runtime(const Job& job, double hops) const {
-  return base_runtime(job) * slowdown(job, hops);
+double RuntimeModel::runtime(const Job& job, double hops,
+                             double freq_scale) const {
+  return base_runtime(job, freq_scale) * slowdown(job, hops);
 }
 
 double RuntimeModel::reference_hops(int nodes) const {

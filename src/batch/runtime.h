@@ -25,12 +25,22 @@ class RuntimeModel {
   explicit RuntimeModel(const arch::MachineModel& machine);
 
   /// Runtime on a compact (reference) allocation — what the workload
-  /// generator pads into a wall-time request.
-  double reference_runtime(const Job& job) const;
+  /// generator pads into a wall-time request. `freq_scale` (a DVFS
+  /// operating point, see power/power_model.h) scales the core clock and
+  /// therefore the roofline compute rate; memory bandwidth is unchanged,
+  /// so compute-bound jobs stretch by ~1/freq_scale and memory-bound jobs
+  /// barely move. 1.0 is exactly the unscaled model. Fixed-runtime jobs
+  /// (trace replay) carry measured times and do not respond to DVFS.
+  double reference_runtime(const Job& job, double freq_scale = 1.0) const;
 
   /// Runtime on the specific allocation `nodes`; `hops` is the allocation's
   /// mean pairwise hop distance (sched::Allocator::mean_pairwise_hops).
-  double runtime(const Job& job, double hops) const;
+  double runtime(const Job& job, double hops, double freq_scale = 1.0) const;
+
+  /// Memory traffic one node of this job moves over its whole runtime
+  /// (elements x bytes/elem x iterations) — what the power layer prices at
+  /// J/B. Zero for fixed-runtime jobs (no modeled traffic).
+  double traffic_bytes_per_node(const Job& job) const;
 
   /// Placement slowdown factor >= 1: 1 + comm_fraction * (hops/ref - 1),
   /// clamped below at 1 (a better-than-reference block is not a speedup —
@@ -45,12 +55,16 @@ class RuntimeModel {
   const net::TorusTopology& topology() const { return topology_; }
 
  private:
-  double base_runtime(const Job& job) const;
+  double base_runtime(const Job& job, double freq_scale) const;
+  /// The exec model at a DVFS frequency scale (1.0 = the base model);
+  /// scaled models are built lazily and cached per distinct scale.
+  const roofline::ExecModel& exec_at(double freq_scale) const;
 
   arch::MachineModel machine_;
   net::TorusTopology topology_;
   roofline::ExecModel exec_;
   mutable std::map<int, double> ref_hops_cache_;
+  mutable std::map<double, roofline::ExecModel> dvfs_exec_cache_;
 };
 
 }  // namespace ctesim::batch

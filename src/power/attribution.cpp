@@ -1,0 +1,53 @@
+#include "power/attribution.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ctesim::power {
+
+KernelEnergy attribute_kernel(const roofline::Breakdown& b, int cores,
+                              const arch::NodeModel& node,
+                              const PowerModel& model,
+                              const DvfsState& state) {
+  CTESIM_EXPECTS(cores >= 1 && cores <= node.core_count());
+  const units::Seconds total{b.total_s};
+  // The roofline overlap rule guarantees total_s >= compute_s; the
+  // remainder is memory-stall time where cores fall back to idle draw.
+  const units::Seconds busy{std::min(b.compute_s, b.total_s)};
+  const units::Seconds stalled = total - busy;
+  KernelEnergy e;
+  e.core_j = cores * (model.core_active * state.power_scale() * busy +
+                      model.core_idle * stalled);
+  e.memory_j = b.bytes * model.dram_energy_per_byte;
+  e.static_j =
+      (node.num_domains * model.cmg_uncore + model.node_base) * total;
+  e.total_j = e.core_j + e.memory_j + e.static_j;
+  e.edp_js = e.total_j.value() * b.total_s;
+  return e;
+}
+
+JobDraw job_draw(const arch::NodeModel& node, const PowerModel& model,
+                 const DvfsState& state, double bytes_per_node,
+                 double runtime_s, double comm_fraction) {
+  CTESIM_EXPECTS(bytes_per_node >= 0.0);
+  CTESIM_EXPECTS(comm_fraction >= 0.0 && comm_fraction < 1.0);
+  JobDraw draw;
+  draw.cpu_w = model.node_active(node, state);
+  if (runtime_s > 0.0) {
+    const units::Joules traffic_j =
+        bytes_per_node * model.dram_energy_per_byte;
+    draw.mem_w = traffic_j / units::Seconds{runtime_s};
+    draw.net_w =
+        comm_fraction * model.links_per_node * model.link_active;
+  }
+  return draw;
+}
+
+units::Joules link_energy(const PowerModel& model,
+                          double busy_link_seconds) {
+  CTESIM_EXPECTS(busy_link_seconds >= 0.0);
+  return model.link_active * units::Seconds{busy_link_seconds};
+}
+
+}  // namespace ctesim::power

@@ -1,0 +1,65 @@
+// Energy attribution: from the roofline cost breakdown of a kernel, or a
+// batch job's profile, to Joules — the same component split in both.
+//
+// Kernel level (attribute_kernel): cores draw active power while the
+// kernel is compute-busy and idle power while it stalls on memory; memory
+// energy is traffic-proportional (bytes * J/B); the uncore and node base
+// draw for the whole duration. Components sum to total_j by construction.
+//
+// Job level (job_draw): a batch job occupies whole nodes, and an MPI rank
+// busy-waits through communication, so every core draws active power for
+// the full attempt. Memory power is the job's traffic spread over its
+// modeled runtime (so memory *energy* stays traffic-proportional no matter
+// how DVFS or placement stretch the attempt), and network power is the
+// communication share of the runtime times the links the node keeps busy —
+// the batch-level stand-in for the congestion model's per-link busy time,
+// which link_energy() prices directly for simulated-MPI studies.
+#pragma once
+
+#include "arch/node.h"
+#include "power/power_model.h"
+#include "roofline/exec_model.h"
+
+namespace ctesim::power {
+
+/// Energy of one kernel invocation on `cores` cores of one node.
+struct KernelEnergy {
+  units::Joules core_j{0.0};    ///< core active + stall energy
+  units::Joules memory_j{0.0};  ///< DRAM/HBM traffic energy
+  units::Joules static_j{0.0};  ///< uncore + node base over the duration
+  units::Joules total_j{0.0};   ///< sum of the three components
+  /// Energy-delay product in J*s — the figure of merit the DVFS sweep
+  /// optimizes (dimensionless ratios of it compare states).
+  double edp_js = 0.0;
+};
+
+/// Attribute energy to a roofline breakdown (which carries its own flops /
+/// bytes / component times).
+KernelEnergy attribute_kernel(const roofline::Breakdown& b, int cores,
+                              const arch::NodeModel& node,
+                              const PowerModel& model,
+                              const DvfsState& state);
+
+/// Constant per-node power draw of a running batch job, split by component.
+/// Watts per *node*; multiply by the allocation size and the elapsed time
+/// for energy.
+struct JobDraw {
+  units::Watts cpu_w{0.0};  ///< cores (at the DVFS point) + uncore + base
+  units::Watts mem_w{0.0};  ///< traffic-proportional DRAM/HBM draw
+  units::Watts net_w{0.0};  ///< comm-share-weighted link draw
+  units::Watts total() const { return cpu_w + mem_w + net_w; }
+};
+
+/// Draw of a job whose per-node traffic is `bytes_per_node` spread over
+/// `runtime_s` of modeled runtime with communication share
+/// `comm_fraction`. runtime_s <= 0 (a zero-work job) yields no memory or
+/// network draw.
+JobDraw job_draw(const arch::NodeModel& node, const PowerModel& model,
+                 const DvfsState& state, double bytes_per_node,
+                 double runtime_s, double comm_fraction);
+
+/// Energy of `busy_link_seconds` of cumulative per-link busy time (the
+/// congestion model's accounting) under this power model.
+units::Joules link_energy(const PowerModel& model, double busy_link_seconds);
+
+}  // namespace ctesim::power

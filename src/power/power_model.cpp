@@ -1,0 +1,124 @@
+#include "power/power_model.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/check.h"
+
+namespace ctesim::power {
+
+const std::vector<DvfsState>& dvfs_states() {
+  // The A64FX exposes a short frequency ladder (2.2/2.0/1.6 GHz class
+  // machines); voltage tracks frequency sub-linearly, as on real parts.
+  static const std::vector<DvfsState> kStates = {
+      {"nominal", 1.0, 1.0},
+      {"f0.9", 0.9, 0.95},
+      {"f0.8", 0.8, 0.90},
+      {"f0.6", 0.6, 0.80},
+  };
+  return kStates;
+}
+
+const DvfsState& dvfs_state(int index) {
+  const auto& states = dvfs_states();
+  if (index < 0 || index >= static_cast<int>(states.size())) {
+    throw std::out_of_range("power: dvfs state index " +
+                            std::to_string(index) + " outside the ladder [0, " +
+                            std::to_string(states.size()) + ")");
+  }
+  return states[static_cast<std::size_t>(index)];
+}
+
+units::Watts PowerModel::node_active(const arch::NodeModel& node,
+                                     const DvfsState& state) const {
+  return node.core_count() * core_active * state.power_scale() +
+         node.num_domains * cmg_uncore + node_base;
+}
+
+units::Watts PowerModel::node_idle(const arch::NodeModel& node) const {
+  return node.core_count() * core_idle + node.num_domains * cmg_uncore +
+         node_base;
+}
+
+bool PowerModel::zero() const {
+  // Coefficients are validated non-negative, so zero means "not positive".
+  return core_active.value() <= 0.0 && core_idle.value() <= 0.0 &&
+         cmg_uncore.value() <= 0.0 && node_base.value() <= 0.0 &&
+         dram_energy_per_byte.value() <= 0.0 && link_active.value() <= 0.0;
+}
+
+PowerModel default_power(const arch::MachineModel& machine) {
+  PowerModel pm;
+  switch (machine.node.core.uarch) {
+    case arch::MicroArch::kA64fx:
+      // A64FX: ~120 W typical chip draw at load for 48 cores + 4 CMGs of
+      // HBM2 PHY/uncore, plus TofuD NICs and board overhead. HBM2 access
+      // energy is on the order of 100 pJ/B delivered to the core.
+      pm.core_active = units::Watts{1.6};
+      pm.core_idle = units::Watts{0.25};
+      pm.cmg_uncore = units::Watts{6.0};
+      pm.node_base = units::Watts{35.0};
+      pm.dram_energy_per_byte = units::Joules{1.0e-10};
+      pm.link_active = units::Watts{2.0};
+      pm.links_per_node = 4.0;
+      break;
+    case arch::MicroArch::kSkylake:
+      // 2 x Xeon 8160 (150 W TDP each over 24 cores), DDR4 at roughly
+      // 150 pJ/B, OmniPath HFI ~7.4 W active.
+      pm.core_active = units::Watts{4.5};
+      pm.core_idle = units::Watts{0.8};
+      pm.cmg_uncore = units::Watts{18.0};
+      pm.node_base = units::Watts{60.0};
+      pm.dram_energy_per_byte = units::Joules{1.5e-10};
+      pm.link_active = units::Watts{7.4};
+      pm.links_per_node = 1.0;
+      break;
+    case arch::MicroArch::kGeneric:
+      pm.core_active = units::Watts{3.0};
+      pm.core_idle = units::Watts{0.5};
+      pm.cmg_uncore = units::Watts{10.0};
+      pm.node_base = units::Watts{50.0};
+      pm.dram_energy_per_byte = units::Joules{1.2e-10};
+      pm.link_active = units::Watts{3.0};
+      pm.links_per_node = 2.0;
+      break;
+  }
+  validate_or_throw(pm);
+  return pm;
+}
+
+namespace {
+void require(bool ok, const char* field) {
+  if (!ok) {
+    throw std::invalid_argument(std::string("power: ") + field +
+                                " must be finite and >= 0");
+  }
+}
+bool valid(double v) { return std::isfinite(v) && v >= 0.0; }
+}  // namespace
+
+void validate_or_throw(const PowerModel& model) {
+  require(valid(model.core_active.value()), "core_active");
+  require(valid(model.core_idle.value()), "core_idle");
+  require(valid(model.cmg_uncore.value()), "cmg_uncore");
+  require(valid(model.node_base.value()), "node_base");
+  require(valid(model.dram_energy_per_byte.value()), "dram_energy_per_byte");
+  require(valid(model.link_active.value()), "link_active");
+  require(valid(model.links_per_node), "links_per_node");
+  if (model.core_idle > model.core_active) {
+    throw std::invalid_argument(
+        "power: core_idle must not exceed core_active");
+  }
+}
+
+arch::MachineModel apply_dvfs(const arch::MachineModel& machine,
+                              const DvfsState& state) {
+  CTESIM_EXPECTS(state.freq_scale > 0.0 && state.freq_scale <= 1.0);
+  if (state.nominal()) return machine;
+  arch::MachineModel scaled = machine;
+  scaled.node.core.freq_ghz *= state.freq_scale;
+  return scaled;
+}
+
+}  // namespace ctesim::power

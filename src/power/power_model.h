@@ -1,0 +1,97 @@
+// Power model layer (ROADMAP item 4): turns every simulation into a
+// performance *and* energy study, the co-equal outputs the ThunderX2
+// sibling paper reports for production Arm HPC clusters.
+//
+// The model is deliberately first-order and fully deterministic:
+//
+//   node active draw  = cores * core_active * pscale(dvfs)
+//                       + domains * cmg_uncore + node_base
+//   node idle draw    = cores * core_idle + domains * cmg_uncore + node_base
+//   memory power      = traffic rate * dram_energy_per_byte  (so memory
+//                       *energy* is traffic-proportional: bytes * J/B)
+//   network power     = busy links * link_active  (a link draws only while
+//                       it carries traffic — the congestion model's busy
+//                       time, or a job's communication share in batch runs)
+//
+// DVFS: a small set of discrete (frequency, voltage) operating points.
+// Dropping a state scales arch::CoreModel::freq_ghz — and therefore the
+// roofline compute rate — by freq_scale, while active core power scales as
+// f * V^2 (dynamic CMOS power). Memory bandwidth is unaffected by core
+// DVFS, so memory-bound work barely slows while its core energy falls:
+// the classic reason low frequency wins on memory-bound mixes and loses
+// (race-to-idle) on compute-bound ones.
+//
+// All quantities are strong-typed (units::Watts / units::Joules), so
+// dimension mix-ups are compile errors; raw doubles appear only at I/O
+// boundaries (CSV, JSON, tables).
+#pragma once
+
+#include <vector>
+
+#include "arch/machine.h"
+#include "util/units.h"
+
+namespace ctesim::power {
+
+/// One DVFS operating point. freq_scale multiplies the nominal core clock
+/// (and, through the roofline model, the compute rate); volt_scale
+/// multiplies the supply voltage, so active core power scales by
+/// freq_scale * volt_scale^2.
+struct DvfsState {
+  const char* name = "nominal";
+  double freq_scale = 1.0;
+  double volt_scale = 1.0;
+
+  /// Active-power multiplier relative to nominal: f * V^2.
+  double power_scale() const {
+    return freq_scale * volt_scale * volt_scale;
+  }
+  /// The no-op state: full frequency, full voltage.
+  bool nominal() const { return freq_scale >= 1.0; }
+};
+
+/// The ladder of supported operating points, nominal first, strictly
+/// decreasing frequency. Index 0 is always a no-op.
+const std::vector<DvfsState>& dvfs_states();
+
+/// State by ladder index; throws std::out_of_range past the ladder.
+const DvfsState& dvfs_state(int index);
+
+struct PowerModel {
+  units::Watts core_active{0.0};  ///< per busy core at nominal (f, V)
+  units::Watts core_idle{0.0};    ///< per clock-gated idle core
+  units::Watts cmg_uncore{0.0};   ///< per NUMA domain: L2, ring stop, PHYs
+  units::Watts node_base{0.0};    ///< per node: board, NIC, fans, VRM loss
+  /// DRAM/HBM access energy; memory energy = traffic bytes * this.
+  units::Joules dram_energy_per_byte{0.0};
+  units::Watts link_active{0.0};  ///< per network link while driving traffic
+  /// Links a communicating node keeps busy on average (torus injection
+  /// ports in use) — scales the network power of a job's comm share.
+  double links_per_node = 0.0;
+
+  /// Whole-node draw with every core busy at `state`.
+  units::Watts node_active(const arch::NodeModel& node,
+                           const DvfsState& state) const;
+  /// Whole-node draw when idle but powered (in service, unallocated).
+  units::Watts node_idle(const arch::NodeModel& node) const;
+
+  /// True when every coefficient is zero — the energy layer contributes
+  /// nothing and metrics reproduce the pre-power numbers exactly.
+  bool zero() const;
+};
+
+/// Calibrated defaults for a machine's microarchitecture family (A64FX /
+/// HBM2 vs Skylake / DDR4); generic nodes get conservative placeholders.
+PowerModel default_power(const arch::MachineModel& machine);
+
+/// Validate coefficients (all finite and non-negative); throws
+/// std::invalid_argument naming the offending field.
+void validate_or_throw(const PowerModel& model);
+
+/// The machine as the DVFS state sees it: core.freq_ghz scaled by
+/// freq_scale, everything else untouched. Roofline peaks and compute times
+/// derived from the returned model scale coherently with the clock.
+arch::MachineModel apply_dvfs(const arch::MachineModel& machine,
+                              const DvfsState& state);
+
+}  // namespace ctesim::power

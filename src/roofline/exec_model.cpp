@@ -48,6 +48,8 @@ Breakdown ExecModel::analyze_shared(const KernelSig& sig, double elems,
   Breakdown b;
   const units::Flops flops{elems * sig.flops_per_elem};
   const units::Bytes bytes{elems * sig.bytes_per_elem};
+  b.flops = flops.value();
+  b.bytes = bytes.value();
   b.achieved_vectorization =
       sig.vec_potential * compiler_.vectorization(sig.cls, node_.core);
   const units::BytesPerSec bw =

@@ -22,6 +22,10 @@ struct Breakdown {
   double total_s = 0.0;
   double achieved_flops = 0.0;  ///< flops / total_s
   double achieved_vectorization = 0.0;
+  /// The work the times were computed from — what the power layer needs to
+  /// attribute energy to the same breakdown (see power/attribution.h).
+  double flops = 0.0;  ///< total FP operations
+  double bytes = 0.0;  ///< total memory traffic
 };
 
 class ExecModel {

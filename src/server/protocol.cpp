@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "power/power_model.h"
 #include "util/hash.h"
 #include "util/json.h"
 
@@ -135,6 +136,17 @@ Request parse_request(const std::string& line) {
       spec.seed = static_cast<std::uint64_t>(d);
     } else if (key == "deadline_ms") {
       spec.deadline_ms = require_range(value, key, 0.0, 1e9);
+    } else if (key == "dvfs_state") {
+      const int last =
+          static_cast<int>(power::dvfs_states().size()) - 1;
+      spec.dvfs_state = require_int(value, key, 0, last);
+    } else if (key == "power_cap_w") {
+      spec.power_cap_w = require_range(value, key, 0.0, 1e12);
+    } else if (key == "dvfs_backfill") {
+      if (value.type != json::Value::Type::kBool) {
+        bad("field 'dvfs_backfill' must be a boolean");
+      }
+      spec.dvfs_backfill = value.boolean;
     } else {
       bad("unknown field '" + key + "'");
     }
@@ -166,7 +178,10 @@ std::string canonical_workload(const SimulateSpec& spec) {
      << ";walltime_pad_min=" << json::number(w.walltime_pad_min)
      << ";walltime_pad_max=" << json::number(w.walltime_pad_max)
      << ";queue=" << batch::name_of(spec.queue)
-     << ";placement=" << sched::name_of(spec.placement);
+     << ";placement=" << sched::name_of(spec.placement)
+     << ";dvfs_state=" << spec.dvfs_state
+     << ";power_cap_w=" << json::number(spec.power_cap_w)
+     << ";dvfs_backfill=" << (spec.dvfs_backfill ? 1 : 0);
   return os.str();
 }
 
@@ -206,7 +221,14 @@ std::string simulate_reply(std::uint64_t config_hash,
      << R"(,"mean_placement_slowdown":)"
      << json::number(m.mean_placement_slowdown)
      << R"(,"time_avg_fragmentation":)"
-     << json::number(m.time_avg_fragmentation) << "}}";
+     << json::number(m.time_avg_fragmentation)
+     << R"(,"energy_to_solution_j":)" << json::number(m.energy_to_solution_j)
+     << R"(,"edp_js":)" << json::number(m.edp_js)
+     << R"(,"mean_power_w":)" << json::number(m.mean_power_w)
+     << R"(,"peak_power_w":)" << json::number(m.peak_power_w)
+     << R"(,"wasted_energy_j":)" << json::number(m.wasted_energy_j)
+     << R"(,"capped_starts":)" << m.capped_starts
+     << R"(,"downclocked_jobs":)" << m.downclocked_jobs << "}}";
   return os.str();
 }
 

@@ -51,6 +51,14 @@ struct SimulateSpec {
   /// request still waiting for a worker past its deadline is answered with
   /// a typed "timeout" error instead of running late.
   double deadline_ms = 0.0;
+  /// DVFS ladder index every job runs at (power::dvfs_states(); 0 =
+  /// nominal). Downclocked states stretch compute-bound runtimes and cut
+  /// active power — the what-if knob energy studies sweep.
+  int dvfs_state = 0;
+  /// Cluster power cap in watts, 0 = uncapped (batch::ClusterOptions).
+  double power_cap_w = 0.0;
+  /// Let capped backfill candidates start at a deeper DVFS state.
+  bool dvfs_backfill = false;
 };
 
 struct Request {

@@ -10,6 +10,7 @@
 #include "batch/cluster.h"
 #include "batch/metrics.h"
 #include "batch/workload.h"
+#include "power/power_model.h"
 #include "trace/chrome.h"
 #include "util/assert.h"
 #include "util/hash.h"
@@ -234,6 +235,13 @@ std::shared_ptr<const std::string> Service::run_simulation(
   options.placement = spec.placement;
   options.queue = spec.queue;
   options.seed = spec.seed;
+  // Every run carries the machine's calibrated power model, so replies
+  // always report energy-to-solution; the DVFS/cap knobs default to no-ops.
+  const power::PowerModel power = power::default_power(*pending.machine);
+  options.power = &power;
+  options.dvfs = power::dvfs_state(spec.dvfs_state);
+  options.power_cap_w = spec.power_cap_w;
+  options.dvfs_backfill = spec.dvfs_backfill;
   const auto result = batch::run_cluster(model, jobs, options);
   const auto metrics =
       batch::summarize(result, pending.machine->num_nodes);

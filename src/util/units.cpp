@@ -63,6 +63,22 @@ std::string format_seconds(Seconds seconds) {
   return format_seconds(seconds.value());
 }
 
+std::string format_power(double watts) {
+  static const char* const kSuffixes[] = {"W", "kW", "MW", "GW"};
+  return format_scaled(watts, kSuffixes, 4, 1000.0);
+}
+
+std::string format_power(Watts power) { return format_power(power.value()); }
+
+std::string format_energy(double joules) {
+  static const char* const kSuffixes[] = {"J", "kJ", "MJ", "GJ", "TJ"};
+  return format_scaled(joules, kSuffixes, 5, 1000.0);
+}
+
+std::string format_energy(Joules energy) {
+  return format_energy(energy.value());
+}
+
 std::string format_seconds(double seconds) {
   char buf[64];
   const double abs = std::fabs(seconds);

@@ -11,6 +11,8 @@
 //   Bytes / BytesPerSec -> Seconds        Bytes / Seconds -> BytesPerSec
 //   Flops / FlopsPerSec -> Seconds        Flops / Seconds -> FlopsPerSec
 //   BytesPerSec * Seconds -> Bytes        FlopsPerSec * Seconds -> Flops
+//   Joules / Seconds -> Watts             Watts * Seconds -> Joules
+//   Joules / Watts -> Seconds
 //
 // Same-dimension ratios collapse to a plain double (efficiencies,
 // speedups). Adding quantities of different dimensions does not compile.
@@ -96,12 +98,16 @@ struct BytesTag {};
 struct FlopsTag {};
 struct BytesPerSecTag {};
 struct FlopsPerSecTag {};
+struct WattsTag {};
+struct JoulesTag {};
 
 using Seconds = Quantity<SecondsTag>;          ///< durations, base unit s
 using Bytes = Quantity<BytesTag>;              ///< data volumes, base unit B
 using Flops = Quantity<FlopsTag>;              ///< FP work, base unit flop
 using BytesPerSec = Quantity<BytesPerSecTag>;  ///< bandwidth
 using FlopsPerSec = Quantity<FlopsPerSecTag>;  ///< compute rate
+using Watts = Quantity<WattsTag>;              ///< power draw, base unit W
+using Joules = Quantity<JoulesTag>;            ///< energy, base unit J
 
 // Cross-dimension arithmetic — each combination names its derived type.
 constexpr Seconds operator/(Bytes n, BytesPerSec rate) {
@@ -124,6 +130,16 @@ constexpr Flops operator*(FlopsPerSec rate, Seconds t) {
   return Flops{rate.value() * t.value()};
 }
 constexpr Flops operator*(Seconds t, FlopsPerSec rate) { return rate * t; }
+constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts{e.value() / t.value()};
+}
+constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules{p.value() * t.value()};
+}
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+constexpr Seconds operator/(Joules e, Watts p) {
+  return Seconds{e.value() / p.value()};
+}
 
 // Scaled constructors for the units the paper (and the machine files)
 // quote quantities in.
@@ -160,6 +176,14 @@ std::string format_flops(FlopsPerSec rate);
 /// "12.5 us", "3.2 ms", "41.0 s".
 std::string format_seconds(double seconds);
 std::string format_seconds(Seconds seconds);
+
+/// "850.0 W", "23.4 kW", "1.2 MW".
+std::string format_power(double watts);
+std::string format_power(Watts power);
+
+/// "512.0 J", "3.6 MJ", "1.1 GJ".
+std::string format_energy(double joules);
+std::string format_energy(Joules energy);
 
 /// Parse sizes like "256", "4k", "1M", "2G" (binary multipliers) into bytes.
 /// Returns false on malformed input.

@@ -10,6 +10,7 @@
 #include "batch/metrics.h"
 #include "batch/queue.h"
 #include "batch/workload.h"
+#include "power/power_model.h"
 
 namespace ctesim::batch {
 namespace {
@@ -187,6 +188,39 @@ TEST(Cluster, HandCheckedMetricsOnTinyMachine) {
   EXPECT_NEAR(m.mean_wait_s, 50.0, 1e-9);
   // Bounded slowdowns: 1 (ran at once) and (100+100)/100 = 2.
   EXPECT_NEAR(m.mean_bounded_slowdown, 1.5, 1e-9);
+}
+
+TEST(Cluster, PowerCapSerializesJobsTheNodesWouldAllow) {
+  const RuntimeModel model(tiny_machine());
+  const power::PowerModel pm = power::default_power(model.machine());
+  const arch::NodeModel& node = model.machine().node;
+  const double active_w = pm.node_active(node, power::dvfs_state(0)).value();
+  const double idle_w = pm.node_idle(node).value();
+  // Two 2-node jobs fit the 4 nodes together, but the cap only covers one
+  // running job (2 active + 2 idle nodes, plus slack): the scheduler must
+  // serialize them on watts, exactly as it would on nodes.
+  const std::vector<Job> jobs = {
+      fixed_job(0, 0.0, 2, 300.0, 100.0),
+      fixed_job(1, 0.0, 2, 300.0, 100.0),
+  };
+  ClusterOptions options;
+  options.power = &pm;
+  options.power_cap_w = 2.0 * active_w + 2.0 * idle_w + 1.0;
+  const auto result = run_cluster(model, jobs, options);
+  const auto& r = result.records;
+  EXPECT_NEAR(r[0].start_s, 0.0, 1e-9);
+  EXPECT_NEAR(r[1].start_s, 100.0, 1e-9);  // waited for watts, not nodes
+  EXPECT_GT(result.energy.capped_starts, 0);
+  EXPECT_NEAR(result.makespan_s, 200.0, 1e-9);
+  const auto m = summarize(result, 4);
+  EXPECT_LE(m.peak_power_w, options.power_cap_w);
+
+  // Without the cap the same stream runs both jobs at once.
+  ClusterOptions uncapped;
+  uncapped.power = &pm;
+  const auto wide = run_cluster(model, jobs, uncapped);
+  EXPECT_NEAR(wide.makespan_s, 100.0, 1e-9);
+  EXPECT_GT(wide.energy.peak_w, options.power_cap_w);
 }
 
 TEST(Cluster, WalltimeLimitKillsOverrunningJobs) {

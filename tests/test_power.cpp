@@ -1,0 +1,395 @@
+// Tests for the power/energy subsystem: DVFS ladder, model validation,
+// kernel-level attribution identities, and the energy accounting the batch
+// layer threads through run_cluster — components summing to totals, the
+// zero-coefficient and nominal-DVFS no-ops, cap enforcement at every trace
+// sample, and the race-to-idle EDP shape the energy study reports.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "arch/configs.h"
+#include "batch/cluster.h"
+#include "batch/metrics.h"
+#include "batch/workload.h"
+#include "power/attribution.h"
+#include "power/power_model.h"
+#include "roofline/kernel_library.h"
+
+namespace ctesim::power {
+namespace {
+
+using batch::Job;
+using batch::JobProfile;
+
+arch::MachineModel tiny_machine() {
+  arch::MachineModel m = arch::cte_arm();
+  m.num_nodes = 4;
+  m.interconnect.dims = {2, 2};
+  return m;
+}
+
+Job fixed_job(int id, double arrival, int nodes, double walltime,
+              double runtime) {
+  Job job;
+  job.id = id;
+  job.arrival_s = arrival;
+  job.nodes = nodes;
+  job.walltime_s = walltime;
+  job.fixed_runtime_s = runtime;
+  job.profile = JobProfile{"fixed", {}, 0.0, 1, 0.0};
+  return job;
+}
+
+/// A roofline-modeled job running `profile_name` on one node.
+Job profiled_job(int id, double arrival, const char* profile_name,
+                 int iterations, double walltime) {
+  Job job;
+  job.id = id;
+  job.arrival_s = arrival;
+  job.nodes = 1;
+  job.walltime_s = walltime;
+  job.profile = batch::profile_by_name(profile_name);
+  job.profile.iterations = iterations;
+  return job;
+}
+
+TEST(Dvfs, LadderIsNominalFirstThenStrictlyDecreasing) {
+  const auto& states = dvfs_states();
+  ASSERT_GE(states.size(), 2u);
+  EXPECT_TRUE(states[0].nominal());
+  EXPECT_DOUBLE_EQ(states[0].power_scale(), 1.0);
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    EXPECT_LT(states[i].freq_scale, states[i - 1].freq_scale);
+    EXPECT_LT(states[i].power_scale(), states[i - 1].power_scale());
+    EXPECT_FALSE(states[i].nominal());
+  }
+  EXPECT_THROW(dvfs_state(-1), std::out_of_range);
+  EXPECT_THROW(dvfs_state(static_cast<int>(states.size())),
+               std::out_of_range);
+}
+
+TEST(Dvfs, ApplyScalesTheClockAndNothingElse) {
+  const arch::MachineModel m = arch::cte_arm();
+  const DvfsState& deep = dvfs_states().back();
+  const arch::MachineModel scaled = apply_dvfs(m, deep);
+  EXPECT_DOUBLE_EQ(scaled.node.core.freq_ghz,
+                   m.node.core.freq_ghz * deep.freq_scale);
+  EXPECT_EQ(scaled.num_nodes, m.num_nodes);
+  EXPECT_DOUBLE_EQ(scaled.node.domain.peak_bw, m.node.domain.peak_bw);
+  // Nominal is the exact identity.
+  const arch::MachineModel same = apply_dvfs(m, dvfs_state(0));
+  EXPECT_DOUBLE_EQ(same.node.core.freq_ghz, m.node.core.freq_ghz);
+}
+
+TEST(PowerModel, DefaultsValidateAndBadCoefficientsThrow) {
+  const PowerModel pm = default_power(arch::cte_arm());
+  EXPECT_NO_THROW(validate_or_throw(pm));
+  EXPECT_FALSE(pm.zero());
+  EXPECT_TRUE(PowerModel{}.zero());
+
+  PowerModel bad = pm;
+  bad.node_base = units::Watts{-1.0};
+  EXPECT_THROW(validate_or_throw(bad), std::invalid_argument);
+  bad = pm;
+  bad.core_idle = bad.core_active + units::Watts{1.0};
+  EXPECT_THROW(validate_or_throw(bad), std::invalid_argument);
+}
+
+TEST(PowerModel, NodeDrawMatchesTheComponentFormula) {
+  const arch::MachineModel m = arch::cte_arm();  // 48 cores, 4 CMGs
+  const PowerModel pm = default_power(m);
+  const double expected_idle = m.node.core_count() * pm.core_idle.value() +
+                               m.node.num_domains * pm.cmg_uncore.value() +
+                               pm.node_base.value();
+  EXPECT_DOUBLE_EQ(pm.node_idle(m.node).value(), expected_idle);
+
+  const DvfsState& deep = dvfs_states().back();
+  const double expected_active =
+      m.node.core_count() * pm.core_active.value() * deep.power_scale() +
+      m.node.num_domains * pm.cmg_uncore.value() + pm.node_base.value();
+  EXPECT_DOUBLE_EQ(pm.node_active(m.node, deep).value(), expected_active);
+  // Downclocking strictly lowers active draw but never below idle.
+  EXPECT_LT(pm.node_active(m.node, deep).value(),
+            pm.node_active(m.node, dvfs_state(0)).value());
+  EXPECT_GT(pm.node_active(m.node, deep).value(),
+            pm.node_idle(m.node).value());
+}
+
+TEST(Attribution, KernelComponentsSumToTotal) {
+  const arch::MachineModel m = arch::cte_arm();
+  const PowerModel pm = default_power(m);
+  const roofline::ExecModel exec(m.node, arch::default_app_compiler(m));
+  for (const auto& sig : {roofline::kernels::md_nonbonded(),
+                          roofline::kernels::spmv_csr(),
+                          roofline::kernels::stencil3d()}) {
+    const auto b = exec.analyze(sig, 1e7, 12);
+    for (const DvfsState& state : dvfs_states()) {
+      const KernelEnergy e = attribute_kernel(b, 12, m.node, pm, state);
+      EXPECT_DOUBLE_EQ(
+          e.total_j.value(),
+          e.core_j.value() + e.memory_j.value() + e.static_j.value());
+      EXPECT_GT(e.total_j.value(), 0.0);
+      EXPECT_DOUBLE_EQ(e.edp_js, e.total_j.value() * b.total_s);
+      // Memory energy is traffic-proportional: DVFS must not move it.
+      const KernelEnergy nominal =
+          attribute_kernel(b, 12, m.node, pm, dvfs_state(0));
+      EXPECT_DOUBLE_EQ(e.memory_j.value(), nominal.memory_j.value());
+    }
+  }
+}
+
+TEST(Attribution, JobDrawComponentsAndLinkEnergy) {
+  const arch::MachineModel m = arch::cte_arm();
+  const PowerModel pm = default_power(m);
+  const DvfsState& nominal = dvfs_state(0);
+  const JobDraw d = job_draw(m.node, pm, nominal, 1e12, 100.0, 0.25);
+  EXPECT_DOUBLE_EQ(d.cpu_w.value(), pm.node_active(m.node, nominal).value());
+  EXPECT_DOUBLE_EQ(d.mem_w.value(),
+                   1e12 * pm.dram_energy_per_byte.value() / 100.0);
+  EXPECT_DOUBLE_EQ(
+      d.net_w.value(),
+      0.25 * pm.links_per_node * pm.link_active.value());
+  EXPECT_DOUBLE_EQ(d.total().value(),
+                   d.cpu_w.value() + d.mem_w.value() + d.net_w.value());
+  // Zero-runtime jobs must not divide by zero.
+  const JobDraw none = job_draw(m.node, pm, nominal, 1e12, 0.0, 0.25);
+  EXPECT_DOUBLE_EQ(none.mem_w.value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      link_energy(pm, 10.0).value(), 10.0 * pm.link_active.value());
+}
+
+TEST(ClusterEnergy, ComponentsSumToTotalAndRecordsAddUp) {
+  const batch::RuntimeModel model(tiny_machine());
+  const PowerModel pm = default_power(model.machine());
+  const std::vector<Job> jobs = {fixed_job(0, 0.0, 1, 300.0, 100.0),
+                                 fixed_job(1, 10.0, 2, 300.0, 150.0),
+                                 fixed_job(2, 20.0, 1, 300.0, 50.0)};
+  batch::ClusterOptions options;
+  options.power = &pm;
+  const auto result = batch::run_cluster(model, jobs, options);
+  ASSERT_TRUE(result.has_power);
+  const batch::EnergyTotals& e = result.energy;
+  EXPECT_DOUBLE_EQ(e.total_j, e.cpu_j + e.mem_j + e.net_j + e.idle_j);
+  EXPECT_GT(e.cpu_j, 0.0);
+  EXPECT_GT(e.idle_j, 0.0);
+  // Fixed-runtime jobs carry no modeled traffic or communication.
+  EXPECT_DOUBLE_EQ(e.mem_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.net_j, 0.0);
+
+  // Per-record energy: draw x nodes x elapsed, with the exact node-active
+  // coefficient; the cpu component is exactly the sum over records.
+  const double node_w = pm.node_active(model.machine().node,
+                                       dvfs_state(0)).value();
+  double sum_j = 0.0;
+  for (const auto& r : result.records) {
+    EXPECT_DOUBLE_EQ(r.energy_j, node_w * r.job.nodes * r.runtime_s());
+    EXPECT_DOUBLE_EQ(r.wasted_energy_j, 0.0);
+    EXPECT_DOUBLE_EQ(r.dvfs_freq_scale, 1.0);
+    sum_j += r.energy_j;
+  }
+  EXPECT_NEAR(e.cpu_j, sum_j, 1e-9 * sum_j);
+
+  const auto m = batch::summarize(result, model.machine().num_nodes);
+  EXPECT_DOUBLE_EQ(m.energy_to_solution_j, e.total_j);
+  EXPECT_DOUBLE_EQ(m.edp_js, e.total_j * m.makespan_s);
+  EXPECT_DOUBLE_EQ(m.mean_power_w, e.total_j / m.makespan_s);
+  EXPECT_GT(m.peak_power_w, 0.0);
+}
+
+TEST(ClusterEnergy, PowerOffAndZeroModelReproduceTheSameSchedule) {
+  const batch::RuntimeModel model(tiny_machine());
+  const std::vector<Job> jobs = {fixed_job(0, 0.0, 2, 300.0, 100.0),
+                                 fixed_job(1, 5.0, 2, 300.0, 120.0),
+                                 fixed_job(2, 6.0, 4, 500.0, 80.0)};
+  batch::ClusterOptions off;
+  const auto base = batch::run_cluster(model, jobs, off);
+
+  const PowerModel zero;  // all coefficients zero
+  batch::ClusterOptions with_zero;
+  with_zero.power = &zero;
+  const auto zeroed = batch::run_cluster(model, jobs, with_zero);
+
+  ASSERT_EQ(base.records.size(), zeroed.records.size());
+  for (std::size_t i = 0; i < base.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(base.records[i].start_s, zeroed.records[i].start_s);
+    EXPECT_DOUBLE_EQ(base.records[i].end_s, zeroed.records[i].end_s);
+    EXPECT_EQ(base.records[i].alloc_nodes, zeroed.records[i].alloc_nodes);
+    EXPECT_DOUBLE_EQ(zeroed.records[i].energy_j, 0.0);
+  }
+  EXPECT_EQ(base.engine_events, zeroed.engine_events);
+  EXPECT_DOUBLE_EQ(zeroed.energy.total_j, 0.0);
+  EXPECT_DOUBLE_EQ(zeroed.energy.peak_w, 0.0);
+  // The non-energy metrics are bit-identical.
+  const auto mb = batch::summarize(base, 4);
+  const auto mz = batch::summarize(zeroed, 4);
+  EXPECT_DOUBLE_EQ(mb.makespan_s, mz.makespan_s);
+  EXPECT_DOUBLE_EQ(mb.utilization, mz.utilization);
+  EXPECT_DOUBLE_EQ(mb.mean_wait_s, mz.mean_wait_s);
+  EXPECT_DOUBLE_EQ(mb.mean_bounded_slowdown, mz.mean_bounded_slowdown);
+  EXPECT_DOUBLE_EQ(mz.energy_to_solution_j, 0.0);
+}
+
+TEST(ClusterEnergy, NominalDvfsIsAnExactNoOp) {
+  const batch::RuntimeModel model(tiny_machine());
+  const PowerModel pm = default_power(model.machine());
+  // Roofline-modeled jobs, so the DVFS-scaled exec-model path is what is
+  // being compared against the base model.
+  const std::vector<Job> jobs = {profiled_job(0, 0.0, "md", 40, 4000.0),
+                                 profiled_job(1, 3.0, "spmv", 40, 4000.0)};
+  batch::ClusterOptions plain;
+  plain.power = &pm;
+  const auto base = batch::run_cluster(model, jobs, plain);
+
+  batch::ClusterOptions nominal = plain;
+  nominal.dvfs = dvfs_state(0);
+  const auto same = batch::run_cluster(model, jobs, nominal);
+  ASSERT_EQ(base.records.size(), same.records.size());
+  for (std::size_t i = 0; i < base.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(base.records[i].end_s, same.records[i].end_s);
+    EXPECT_DOUBLE_EQ(base.records[i].energy_j, same.records[i].energy_j);
+  }
+  EXPECT_DOUBLE_EQ(base.energy.total_j, same.energy.total_j);
+}
+
+TEST(ClusterEnergy, DvfsStretchesComputeBoundNotMemoryBound) {
+  const batch::RuntimeModel model(tiny_machine());
+  const Job md = profiled_job(0, 0.0, "md", 10, 1e6);
+  const Job spmv = profiled_job(1, 0.0, "spmv", 10, 1e6);
+  const double deep = dvfs_states().back().freq_scale;  // 0.6
+  const double md_stretch =
+      model.reference_runtime(md, deep) / model.reference_runtime(md);
+  const double spmv_stretch =
+      model.reference_runtime(spmv, deep) / model.reference_runtime(spmv);
+  // Compute-bound follows the clock; memory-bound hides behind HBM.
+  EXPECT_GT(md_stretch, 1.4);
+  EXPECT_LT(spmv_stretch, md_stretch);
+  EXPECT_LT(spmv_stretch, 1.2);
+  // Fixed-runtime jobs are DVFS-invariant by contract.
+  const Job fixed = fixed_job(2, 0.0, 1, 100.0, 50.0);
+  EXPECT_DOUBLE_EQ(model.reference_runtime(fixed, deep),
+                   model.reference_runtime(fixed));
+}
+
+TEST(ClusterEnergy, RaceToIdleShowsUpInEdp) {
+  // The acceptance shape of the energy study at test scale: for a
+  // compute-bound stream the DEEPEST frequency is NOT the EDP optimum,
+  // while the memory-bound stream improves its EDP there.
+  const batch::RuntimeModel model(tiny_machine());
+  const PowerModel pm = default_power(model.machine());
+  const auto run_edp = [&](const char* profile, const DvfsState& state) {
+    std::vector<Job> jobs;
+    for (int i = 0; i < 6; ++i) {
+      jobs.push_back(profiled_job(i, 10.0 * i, profile, 20, 1e7));
+    }
+    batch::ClusterOptions options;
+    options.power = &pm;
+    options.dvfs = state;
+    const auto result = batch::run_cluster(model, jobs, options);
+    return batch::summarize(result, model.machine().num_nodes).edp_js;
+  };
+  const DvfsState& deepest = dvfs_states().back();
+  EXPECT_GT(run_edp("md", deepest), run_edp("md", dvfs_state(0)));
+  EXPECT_LT(run_edp("spmv", deepest), run_edp("spmv", dvfs_state(0)));
+}
+
+TEST(ClusterEnergy, WalltimeKillWastesTheAttemptEnergy) {
+  const batch::RuntimeModel model(tiny_machine());
+  const PowerModel pm = default_power(model.machine());
+  const std::vector<Job> jobs = {fixed_job(0, 0.0, 1, 50.0, 100.0)};
+  batch::ClusterOptions options;
+  options.power = &pm;
+  const auto result = batch::run_cluster(model, jobs, options);
+  ASSERT_EQ(result.records.size(), 1u);
+  const auto& r = result.records[0];
+  EXPECT_EQ(r.end_reason, batch::EndReason::kWalltimeKilled);
+  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(r.wasted_energy_j, r.energy_j);
+  EXPECT_DOUBLE_EQ(result.energy.wasted_j, r.energy_j);
+  const auto m = batch::summarize(result, model.machine().num_nodes);
+  EXPECT_DOUBLE_EQ(m.wasted_energy_j, r.energy_j);
+}
+
+TEST(ClusterEnergy, PowerCapHoldsAtEveryTraceSample) {
+  const batch::RuntimeModel model(tiny_machine());
+  const PowerModel pm = default_power(model.machine());
+  const arch::NodeModel& node = model.machine().node;
+  const double active_w = pm.node_active(node, dvfs_state(0)).value();
+  const double idle_w = pm.node_idle(node).value();
+  // Four 1-node jobs all fit the nodes at t=0; cap the cluster so only two
+  // may draw active power at once.
+  const double cap_w = 2.0 * active_w + 2.0 * idle_w + 1.0;
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(fixed_job(i, 0.0, 1, 400.0, 100.0));
+  }
+  batch::ClusterOptions options;
+  options.power = &pm;
+  options.power_cap_w = cap_w;
+  const auto result = batch::run_cluster(model, jobs, options);
+  EXPECT_GT(result.energy.capped_starts, 0);
+  for (const auto& s : result.frag_timeline) {
+    EXPECT_LE(s.power_w, cap_w);
+    EXPECT_LE(s.busy_nodes, 2);
+  }
+  // The deferred jobs ran after the first wave released its watts.
+  for (const auto& r : result.records) {
+    EXPECT_EQ(r.end_reason, batch::EndReason::kCompleted);
+  }
+  const auto m = batch::summarize(result, model.machine().num_nodes);
+  EXPECT_LE(m.peak_power_w, cap_w);
+  EXPECT_EQ(m.capped_starts, result.energy.capped_starts);
+
+  // Uncapped, the same stream peaks above the cap — the cap did something.
+  batch::ClusterOptions uncapped;
+  uncapped.power = &pm;
+  const auto wide = batch::run_cluster(model, jobs, uncapped);
+  EXPECT_GT(wide.energy.peak_w, cap_w);
+  EXPECT_LT(wide.makespan_s, result.makespan_s);
+}
+
+TEST(ClusterEnergy, CapNeverDeadlocksAnEmptyMachine) {
+  const batch::RuntimeModel model(tiny_machine());
+  const PowerModel pm = default_power(model.machine());
+  // A cap below even one node's active draw: the head must still run
+  // (alone) rather than wait forever.
+  const std::vector<Job> jobs = {fixed_job(0, 0.0, 4, 200.0, 100.0)};
+  batch::ClusterOptions options;
+  options.power = &pm;
+  options.power_cap_w = 1.0;
+  const auto result = batch::run_cluster(model, jobs, options);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].end_reason, batch::EndReason::kCompleted);
+}
+
+TEST(ClusterEnergy, DvfsBackfillDownclocksUnderTheCap) {
+  const batch::RuntimeModel model(tiny_machine());
+  const PowerModel pm = default_power(model.machine());
+  const arch::NodeModel& node = model.machine().node;
+  const double active_w = pm.node_active(node, dvfs_state(0)).value();
+  const double deep_w =
+      pm.node_active(node, dvfs_states().back()).value();
+  const double idle_w = pm.node_idle(node).value();
+  // Room for one nominal job plus one deep-state job, not two nominal.
+  const double cap_w = active_w + deep_w + 2.0 * idle_w + 1.0;
+  const std::vector<Job> jobs = {fixed_job(0, 0.0, 1, 400.0, 100.0),
+                                 fixed_job(1, 0.0, 1, 400.0, 100.0)};
+  batch::ClusterOptions options;
+  options.power = &pm;
+  options.power_cap_w = cap_w;
+  options.dvfs_backfill = true;
+  const auto result = batch::run_cluster(model, jobs, options);
+  EXPECT_GT(result.energy.downclocked_jobs, 0);
+  for (const auto& s : result.frag_timeline) {
+    EXPECT_LE(s.power_w, cap_w);
+  }
+  // Both ran concurrently: the rescue beat waiting for the first release.
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.records[0].start_s, result.records[1].start_s);
+  // Exactly one of them carries a sub-nominal frequency scale.
+  const double scales = result.records[0].dvfs_freq_scale *
+                        result.records[1].dvfs_freq_scale;
+  EXPECT_LT(scales, 1.0);
+}
+
+}  // namespace
+}  // namespace ctesim::power

@@ -20,8 +20,15 @@ static_assert(
     std::is_same_v<decltype(BytesPerSec{1.0} * Seconds{1.0}), Bytes>);
 static_assert(
     std::is_same_v<decltype(Seconds{1.0} * FlopsPerSec{1.0}), Flops>);
+// Power and energy close under the same algebra.
+static_assert(std::is_same_v<decltype(Joules{1.0} / Seconds{1.0}), Watts>);
+static_assert(std::is_same_v<decltype(Watts{1.0} * Seconds{1.0}), Joules>);
+static_assert(std::is_same_v<decltype(Seconds{1.0} * Watts{1.0}), Joules>);
+static_assert(std::is_same_v<decltype(Joules{1.0} / Watts{1.0}), Seconds>);
 // Same-dimension ratios are dimensionless.
 static_assert(std::is_same_v<decltype(Seconds{1.0} / Seconds{2.0}), double>);
+static_assert(std::is_same_v<decltype(Watts{1.0} / Watts{2.0}), double>);
+static_assert(std::is_same_v<decltype(Joules{1.0} / Joules{2.0}), double>);
 static_assert(
     std::is_same_v<decltype(BytesPerSec{1.0} / BytesPerSec{2.0}), double>);
 // Scaling by a raw double stays in the dimension.
@@ -48,6 +55,12 @@ static_assert(!CanAdd<Seconds, Bytes>::value,
               "adding different dimensions must not compile");
 static_assert(!CanAdd<BytesPerSec, FlopsPerSec>::value,
               "bandwidth + compute rate must not compile");
+static_assert(!CanAdd<Watts, Joules>::value,
+              "power + energy must not compile");
+static_assert(!CanAdd<Joules, Flops>::value,
+              "energy + FP work must not compile");
+static_assert(!CanMultiply<Watts, Watts>::value,
+              "Watts * Watts has no dimension here and must not compile");
 static_assert(!CanAdd<Seconds, double>::value,
               "quantity + raw double must not compile");
 static_assert(!CanMultiply<Bytes, Bytes>::value,
@@ -82,6 +95,25 @@ TEST(Units, DerivedTypeArithmetic) {
   const Seconds tc = Flops{2.0e9} / gigaflops(4.0);
   EXPECT_DOUBLE_EQ(tc.value(), 0.5);
   EXPECT_DOUBLE_EQ((Flops{2.0e9} / tc).value(), 4.0e9);
+}
+
+TEST(Units, PowerEnergyArithmetic) {
+  // 150 W held for 2 hours is 1.08 MJ.
+  const Joules e = Watts{150.0} * Seconds{7200.0};
+  EXPECT_DOUBLE_EQ(e.value(), 1.08e6);
+  // Mean power over the interval recovers the draw.
+  const Watts p = e / Seconds{7200.0};
+  EXPECT_DOUBLE_EQ(p.value(), 150.0);
+  // Time to burn a budget at that draw.
+  const Seconds t = e / Watts{300.0};
+  EXPECT_DOUBLE_EQ(t.value(), 3600.0);
+}
+
+TEST(Units, PowerEnergyFormatting) {
+  EXPECT_EQ(format_power(Watts{850.0}), format_power(850.0));
+  EXPECT_EQ(format_power(23400.0), "23.40 kW");
+  EXPECT_EQ(format_energy(Joules{3.6e6}), format_energy(3.6e6));
+  EXPECT_EQ(format_energy(3.6e6), "3.60 MJ");
 }
 
 TEST(Units, SameDimensionRatioIsEfficiency) {

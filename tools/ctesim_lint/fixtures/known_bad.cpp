@@ -54,6 +54,12 @@ inline double use_machine() {
   return m.peak;
 }
 
+inline double node_energy(double hours) {
+  double cluster_watts = 135.8;       // LINT-EXPECT: raw-power-unit
+  double energy_joules = cluster_watts * hours * 3600.0;  // LINT-EXPECT: raw-power-unit
+  return energy_joules;
+}
+
 // A string mentioning steady_clock and an == 0.0 comparison must not fire:
 inline const char* doc() { return "steady_clock, x == 0.0"; }
 // Nor a comment: steady_clock, rand(), x == 0.0.

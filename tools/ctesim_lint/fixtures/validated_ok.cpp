@@ -14,4 +14,15 @@ inline double use_machine_checked() {
   return m.peak;
 }
 
+namespace units {
+struct Watts {
+  double v = 0.0;
+};
+}  // namespace units
+
+inline double node_draw(double idle_w) {
+  units::Watts node_watts{135.8};  // clean: strong type, not a raw double
+  return node_watts.v + idle_w;    // clean: raw doubles use the _w suffix
+}
+
 }  // namespace fixture

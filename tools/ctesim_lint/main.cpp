@@ -22,6 +22,12 @@
 //   unvalidated-machine  A MachineModel constructed directly in a file that
 //                        never mentions validate: models must go through
 //                        arch::validate_or_throw before use.
+//   raw-power-unit       A `double` variable spelled *_watts / *_joules in
+//                        src/. Power and energy quantities crossing an API
+//                        carry the units::Watts / units::Joules strong
+//                        types (src/units/quantity.h); a raw double with a
+//                        full unit word in its name is a quantity that
+//                        escaped the dimension algebra.
 //
 // Usage:
 //   ctesim_lint --root <repo_root> [--allowlist <file>]
@@ -210,6 +216,11 @@ void scan_file(const SourceFile& file, const std::set<std::string>& unordered,
       "(?:\\d+\\.\\d*|\\.\\d+|\\d+(?:\\.\\d*)?[eE][-+]?\\d+)[fF]?\\s*[=!]=");
   static const std::regex kMachineDecl(
       "\\bMachineModel\\s+[A-Za-z_][A-Za-z0-9_]*\\s*;");
+  // Full unit words only: the project's raw-double convention is the short
+  // _w/_j suffix on locals; a *_watts/*_joules double is a quantity that
+  // should be units::Watts/units::Joules.
+  static const std::regex kRawPowerUnit(
+      "\\bdouble\\s+([A-Za-z_][A-Za-z0-9_]*_(?:watts|joules))\\b");
 
   bool mentions_validate = false;
   for (const auto& line : file.code) {
@@ -246,6 +257,13 @@ void scan_file(const SourceFile& file, const std::set<std::string>& unordered,
                            "wall-clock/libc randomness in simulation code "
                            "('" + m.str() +
                                "') — use sim::Engine time / util/rng.h"});
+    }
+    if (file.in_src && std::regex_search(line, m, kRawPowerUnit)) {
+      findings->push_back({file.path, lineno, "raw-power-unit",
+                           "raw double '" + m[1].str() +
+                               "' — use units::Watts / units::Joules "
+                               "(src/units/quantity.h) for power/energy "
+                               "quantities"});
     }
     if (std::regex_search(line, m, kFloatEq)) {
       findings->push_back({file.path, lineno, "float-equality",

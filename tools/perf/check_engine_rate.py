@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Engine-rate regression gate (stdlib only).
+
+Compares a fresh bench/engine_rate summary against the committed baseline
+(BENCH_engine.json at the repo root) and fails on:
+
+  1. regression: any benchmark present in BOTH summaries whose fresh
+     events/sec falls below ``--min-ratio`` (default 0.80, i.e. a >20%
+     drop) of the committed figure. CI runners are noisy, which is why the
+     bar is 20% and not 5%; a real engine regression (an O(n) scan in the
+     event loop, an accidental allocation per event) blows straight
+     through it.
+  2. power overhead: the energy-accounting run (BM_ClusterEnginePower)
+     must stay within ``--max-power-overhead`` (default 0.10) of the plain
+     run *in the same fresh summary* — both sides ran on the same machine
+     seconds apart, so this ratio is far less noisy than the cross-commit
+     one. This holds the per-event power bookkeeping at O(1).
+
+Usage:
+  python3 tools/perf/check_engine_rate.py \
+      --baseline BENCH_engine.json --fresh BENCH_fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    """Return {benchmark name: events_per_s} from an engine_rate summary."""
+    with open(path, "r", encoding="utf-8") as f:
+        summary = json.load(f)
+    if summary.get("bench") != "engine_rate":
+        raise SystemExit(f"{path}: not an engine_rate summary")
+    runs = {}
+    for run in summary.get("runs", []):
+        name = run["name"]
+        rate = float(run["events_per_s"])
+        if rate <= 0.0:
+            raise SystemExit(f"{path}: {name} has non-positive events_per_s")
+        runs[name] = rate
+    if not runs:
+        raise SystemExit(f"{path}: no runs in summary")
+    return runs
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_engine.json")
+    parser.add_argument("--fresh", required=True,
+                        help="summary from the current build")
+    parser.add_argument("--min-ratio", type=float, default=0.80,
+                        help="fresh/baseline events-per-sec floor "
+                             "(default: 0.80)")
+    parser.add_argument("--max-power-overhead", type=float, default=0.10,
+                        help="allowed slowdown of BM_ClusterEnginePower vs "
+                             "BM_ClusterEngine in the fresh summary "
+                             "(default: 0.10)")
+    args = parser.parse_args()
+
+    baseline = load_runs(args.baseline)
+    fresh = load_runs(args.fresh)
+    failures = []
+
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        raise SystemExit("no benchmark names shared between baseline and "
+                         "fresh summaries — wrong files?")
+    for name in shared:
+        ratio = fresh[name] / baseline[name]
+        verdict = "ok" if ratio >= args.min_ratio else "REGRESSION"
+        print(f"  {name}: {fresh[name]:.0f} vs baseline "
+              f"{baseline[name]:.0f} events/s (x{ratio:.2f}) {verdict}")
+        if ratio < args.min_ratio:
+            failures.append(
+                f"{name}: fresh rate is x{ratio:.2f} of baseline "
+                f"(floor x{args.min_ratio:.2f})")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"  {name}: {fresh[name]:.0f} events/s (no baseline yet)")
+
+    plain = fresh.get("BM_ClusterEngine/600")
+    powered = fresh.get("BM_ClusterEnginePower/600")
+    if plain is None or powered is None:
+        failures.append("fresh summary is missing BM_ClusterEngine/600 or "
+                        "BM_ClusterEnginePower/600 — cannot check the "
+                        "energy-accounting overhead")
+    else:
+        overhead = 1.0 - powered / plain
+        floor = (1.0 - args.max_power_overhead) * plain
+        verdict = "ok" if powered >= floor else "TOO SLOW"
+        print(f"  power accounting overhead: {overhead * 100.0:+.1f}% "
+              f"({powered:.0f} vs {plain:.0f} events/s) {verdict}")
+        if powered < floor:
+            failures.append(
+                f"BM_ClusterEnginePower/600 runs {overhead * 100.0:.1f}% "
+                f"slower than BM_ClusterEngine/600 (allowed: "
+                f"{args.max_power_overhead * 100.0:.0f}%)")
+
+    if failures:
+        print("check_engine_rate: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("check_engine_rate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
