@@ -1,28 +1,8 @@
-// Simulated time. Integer picoseconds: fine enough to resolve single FP
-// instructions at GHz clocks, wide enough for ~3 months of simulated time,
-// and exact — so event ordering (and therefore every result in
-// EXPERIMENTS.md) is bit-reproducible across platforms.
+// Forwarding shim: sim::Time moved to util/time.h so that trace/ (which
+// records event times but does not depend on the DES engine) sits below
+// core/ in the subsystem layering (see tools/ctesim_lint/layers.txt).
+// Engine-side code keeps including "core/time.h"; both spellings are the
+// same header.
 #pragma once
 
-#include <cstdint>
-
-namespace ctesim::sim {
-
-using Time = std::int64_t;  ///< picoseconds
-
-inline constexpr Time kPicosecond = 1;
-inline constexpr Time kNanosecond = 1'000;
-inline constexpr Time kMicrosecond = 1'000'000;
-inline constexpr Time kMillisecond = 1'000'000'000;
-inline constexpr Time kSecond = 1'000'000'000'000;
-
-/// Convert seconds (as used by the cost models) to simulated time, rounding
-/// to the nearest picosecond. Negative durations are a caller bug and are
-/// checked at the scheduling boundary, not here.
-constexpr Time from_seconds(double seconds) {
-  return static_cast<Time>(seconds * 1e12 + (seconds >= 0 ? 0.5 : -0.5));
-}
-
-constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-12; }
-
-}  // namespace ctesim::sim
+#include "util/time.h"  // IWYU pragma: export

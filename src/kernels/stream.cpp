@@ -1,5 +1,6 @@
 #include "kernels/stream.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -53,26 +54,51 @@ double Stream::triad() {
 double Stream::triad_parallel(int threads) {
   CTESIM_EXPECTS(threads >= 1);
   const std::size_t n = a_.size();
+  {
+    util::MutexLock lock(timings_mutex_);
+    thread_seconds_.clear();
+  }
   const double t0 = now_seconds();
   if (threads == 1) {
     for (std::size_t i = 0; i < n; ++i) a_[i] = b_[i] + kScalar * c_[i];
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      const std::size_t lo = n * static_cast<std::size_t>(t) /
-                             static_cast<std::size_t>(threads);
-      const std::size_t hi = n * (static_cast<std::size_t>(t) + 1) /
-                             static_cast<std::size_t>(threads);
-      workers.emplace_back([this, lo, hi] {
-        for (std::size_t i = lo; i < hi; ++i) {
-          a_[i] = b_[i] + kScalar * c_[i];
-        }
-      });
-    }
-    for (auto& w : workers) w.join();
+    const double elapsed = now_seconds() - t0;
+    util::MutexLock lock(timings_mutex_);
+    thread_seconds_.emplace_back(0, elapsed);
+    return elapsed;
   }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const std::size_t lo = n * static_cast<std::size_t>(t) /
+                           static_cast<std::size_t>(threads);
+    const std::size_t hi = n * (static_cast<std::size_t>(t) + 1) /
+                           static_cast<std::size_t>(threads);
+    workers.emplace_back([this, t, lo, hi] {
+      const double w0 = now_seconds();
+      for (std::size_t i = lo; i < hi; ++i) {
+        a_[i] = b_[i] + kScalar * c_[i];
+      }
+      const double elapsed = now_seconds() - w0;
+      util::MutexLock lock(timings_mutex_);
+      thread_seconds_.emplace_back(t, elapsed);
+    });
+  }
+  for (auto& w : workers) w.join();
   return now_seconds() - t0;
+}
+
+std::vector<double> Stream::last_thread_seconds() const {
+  std::vector<std::pair<int, double>> raw;
+  {
+    util::MutexLock lock(timings_mutex_);
+    raw = thread_seconds_;
+  }
+  // Completion order is scheduler-dependent; index order is not.
+  std::sort(raw.begin(), raw.end());
+  std::vector<double> seconds;
+  seconds.reserve(raw.size());
+  for (const auto& [t, s] : raw) seconds.push_back(s);
+  return seconds;
 }
 
 double Stream::run_and_verify(int times) {

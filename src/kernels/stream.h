@@ -5,7 +5,10 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace ctesim::kernels {
 
@@ -41,7 +44,13 @@ class Stream {
   /// OpenMP-parallel STREAM of the paper, portably). Returns elapsed
   /// seconds; results stay verifiable by run_and_verify's closed form if
   /// the canonical sequence is respected by the caller.
-  double triad_parallel(int threads);
+  double triad_parallel(int threads) CTESIM_EXCLUDES(timings_mutex_);
+
+  /// Per-worker elapsed seconds of the last triad_parallel call, sorted by
+  /// worker index — the load-imbalance diagnostic behind the paper's
+  /// OpenMP-vs-hybrid STREAM spread. Empty before the first parallel run.
+  std::vector<double> last_thread_seconds() const
+      CTESIM_EXCLUDES(timings_mutex_);
 
   static constexpr double kScalar = 3.0;
 
@@ -49,6 +58,13 @@ class Stream {
   std::vector<double> a_;
   std::vector<double> b_;
   std::vector<double> c_;
+
+  // Workers report (index, elapsed) concurrently; the pair list is the one
+  // piece of cross-thread shared state in the native kernels, so it carries
+  // the full lock discipline the clang thread-safety job checks.
+  mutable util::Mutex timings_mutex_;
+  std::vector<std::pair<int, double>> thread_seconds_
+      CTESIM_GUARDED_BY(timings_mutex_);
 };
 
 }  // namespace ctesim::kernels

@@ -3,7 +3,7 @@
 namespace ctesim::server {
 
 std::shared_ptr<const std::string> ResultCache::get(const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -17,7 +17,7 @@ std::shared_ptr<const std::string> ResultCache::get(const CacheKey& key) {
 void ResultCache::put(const CacheKey& key,
                       std::shared_ptr<const std::string> reply) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(reply);
@@ -34,7 +34,7 @@ void ResultCache::put(const CacheKey& key,
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return Stats{capacity_, lru_.size(), hits_, misses_, evictions_};
 }
 

@@ -10,9 +10,10 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
+
+#include "util/thread_annotations.h"
 
 namespace ctesim::server {
 
@@ -49,24 +50,27 @@ class ResultCache {
 
   /// The cached reply bytes, or nullptr on a miss. A hit refreshes the
   /// entry's LRU position. Counts toward hits/misses either way.
-  std::shared_ptr<const std::string> get(const CacheKey& key);
+  std::shared_ptr<const std::string> get(const CacheKey& key)
+      CTESIM_EXCLUDES(mutex_);
 
   /// Insert (or refresh) an entry, evicting the least-recently-used entry
   /// beyond capacity.
-  void put(const CacheKey& key, std::shared_ptr<const std::string> reply);
+  void put(const CacheKey& key, std::shared_ptr<const std::string> reply)
+      CTESIM_EXCLUDES(mutex_);
 
-  Stats stats() const;
+  Stats stats() const CTESIM_EXCLUDES(mutex_);
 
  private:
   using Entry = std::pair<CacheKey, std::shared_ptr<const std::string>>;
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::map<CacheKey, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable util::Mutex mutex_;
+  const std::size_t capacity_;  ///< immutable after construction
+  std::list<Entry> lru_ CTESIM_GUARDED_BY(mutex_);  ///< front = most recent
+  std::map<CacheKey, std::list<Entry>::iterator> index_
+      CTESIM_GUARDED_BY(mutex_);
+  std::uint64_t hits_ CTESIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ CTESIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ CTESIM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ctesim::server

@@ -34,14 +34,15 @@ Service::Service(const ServiceConfig& config)
       cache_(config.cache_capacity),
       queue_(config.admission_policy, std::max(1, config.workers)),
       free_slots_(config.workers),
+      rec_pool_(config.tracing),
       epoch_ns_(steady_ns()) {
   CTESIM_EXPECTS(config.workers >= 1);
   CTESIM_EXPECTS(config.queue_capacity >= 0);
-  admission_rec_ = std::make_unique<trace::Recorder>(config_.tracing);
+  admission_rec_ = rec_pool_.create();
   worker_recs_.reserve(static_cast<std::size_t>(config_.workers));
   threads_.reserve(static_cast<std::size_t>(config_.workers));
   for (int w = 0; w < config_.workers; ++w) {
-    worker_recs_.push_back(std::make_unique<trace::Recorder>(config_.tracing));
+    worker_recs_.push_back(rec_pool_.create());
   }
   for (int w = 0; w < config_.workers; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -116,11 +117,11 @@ std::shared_ptr<const arch::MachineModel> Service::resolve_machine_locked(
 
 std::string Service::handle(const std::string& request_line) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++received_;
   }
   if (request_line.size() > config_.max_request_bytes) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++errors_;
     return error_reply("oversized",
                        "request exceeds " +
@@ -131,7 +132,7 @@ std::string Service::handle(const std::string& request_line) {
   try {
     request = parse_request(request_line);
   } catch (const ProtocolError& e) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++errors_;
     return error_reply("bad_request", e.what());
   }
@@ -149,7 +150,7 @@ std::string Service::handle(const std::string& request_line) {
 std::string Service::handle_simulate(const SimulateSpec& spec) {
   std::shared_future<std::shared_ptr<const std::string>> future;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stop_) {
       return error_reply("shutting_down", "server is shutting down");
     }
@@ -256,7 +257,7 @@ std::shared_ptr<const std::string> Service::run_simulation(
 }
 
 void Service::worker_loop(int worker_id) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   while (true) {
     if (stop_) break;
     int pos = -1;
@@ -331,7 +332,7 @@ void Service::worker_loop(int worker_id) {
 }
 
 ServiceStats Service::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ServiceStats s;
   s.workers = config_.workers;
   s.queue_capacity = config_.queue_capacity;
@@ -370,7 +371,7 @@ std::string Service::stats_reply(const ServiceStats& s) {
 void Service::shutdown() {
   std::vector<std::shared_ptr<Flight>> orphans;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!stop_) {
       stop_ = true;
       while (!queue_.empty()) {
@@ -395,19 +396,16 @@ void Service::shutdown() {
 
 void Service::export_trace(const std::string& path) const {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     CTESIM_EXPECTS(stop_);  // workers write their recorders unsynchronized
   }
   trace::Recorder merged(true);
-  std::vector<const trace::Recorder*> parts;
-  parts.push_back(admission_rec_.get());
-  for (const auto& rec : worker_recs_) parts.push_back(rec.get());
-  merged.merge_from(parts);
+  rec_pool_.merge_into(&merged);
   trace::write_chrome_trace(merged, path);
 }
 
 void Service::set_worker_hook(std::function<void()> hook) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   worker_hook_ = std::move(hook);
 }
 

@@ -27,11 +27,14 @@
 //     past its deadline is answered "timeout" instead of running late.
 //
 // Threading: handle() is called concurrently from connection threads; the
-// admission state is guarded by one mutex. Each worker owns a private
-// trace::Recorder (the Recorder itself is not thread-safe); export_trace()
-// merges them deterministically after shutdown. The *simulation* path
-// stays wall-clock-free — real time is only read for queue deadlines and
-// trace timestamps, never inside a study.
+// admission state is guarded by one mutex, and the guarding is *proved* at
+// compile time — every protected member carries CTESIM_GUARDED_BY and the
+// clang `thread-safety` CI job builds with -Werror=thread-safety (see
+// docs/STATIC_ANALYSIS.md §6). Each worker owns a private trace::Recorder
+// from a trace::RecorderPool (the Recorder itself is not thread-safe);
+// export_trace() merges them deterministically after shutdown. The
+// *simulation* path stays wall-clock-free — real time is only read for
+// queue deadlines and trace timestamps, never inside a study.
 #pragma once
 
 #include <condition_variable>
@@ -40,7 +43,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +52,8 @@
 #include "server/cache.h"
 #include "server/protocol.h"
 #include "trace/recorder.h"
+#include "trace/recorder_pool.h"
+#include "util/thread_annotations.h"
 
 namespace ctesim::server {
 
@@ -98,25 +102,26 @@ class Service {
   /// Handle one request line, blocking until its reply is ready. Safe to
   /// call from any number of threads. Never throws: every failure maps to
   /// a typed error reply.
-  std::string handle(const std::string& request_line);
+  std::string handle(const std::string& request_line)
+      CTESIM_EXCLUDES(mutex_);
 
-  ServiceStats stats() const;
+  ServiceStats stats() const CTESIM_EXCLUDES(mutex_);
 
   /// Serialize stats as the wire-format stats reply (single line).
   static std::string stats_reply(const ServiceStats& stats);
 
   /// Stop accepting work, fail queued requests with "shutting_down",
   /// finish in-flight runs and join the workers. Idempotent.
-  void shutdown();
+  void shutdown() CTESIM_EXCLUDES(mutex_);
 
   /// Write the merged per-worker Chrome trace. Only meaningful with
   /// config.tracing; requires shutdown() to have completed (the per-worker
   /// recorders are unsynchronized while workers live).
-  void export_trace(const std::string& path) const;
+  void export_trace(const std::string& path) const CTESIM_EXCLUDES(mutex_);
 
   /// Test hook: runs on a worker right after it dequeues a request,
   /// before the deadline check. Set before sending traffic.
-  void set_worker_hook(std::function<void()> hook);
+  void set_worker_hook(std::function<void()> hook) CTESIM_EXCLUDES(mutex_);
 
  private:
   struct Flight {
@@ -132,14 +137,16 @@ class Service {
     double deadline_ms = 0.0;      ///< 0 = none
   };
 
-  std::string handle_simulate(const SimulateSpec& spec);
+  std::string handle_simulate(const SimulateSpec& spec)
+      CTESIM_EXCLUDES(mutex_);
   /// Build-or-reuse the machine for `spec` (mutex_ held). Throws
   /// ProtocolError on unknown names, bad INI or non-torus interconnects.
   std::shared_ptr<const arch::MachineModel> resolve_machine_locked(
-      const SimulateSpec& spec, std::uint64_t* config_hash);
+      const SimulateSpec& spec, std::uint64_t* config_hash)
+      CTESIM_REQUIRES(mutex_);
   std::shared_ptr<const std::string> run_simulation(const Pending& pending,
                                                     int worker_id);
-  void worker_loop(int worker_id);
+  void worker_loop(int worker_id) CTESIM_EXCLUDES(mutex_);
   /// Real time as nanoseconds since construction — the deadline clock.
   /// (Server code; the simulation itself never reads real time.)
   std::int64_t real_now_ns() const;
@@ -152,32 +159,47 @@ class Service {
   static double cost_estimate(const SimulateSpec& spec);
 
   const ServiceConfig config_;
-  ResultCache cache_;
+  ResultCache cache_;  ///< internally synchronized
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  batch::JobQueue queue_;                 ///< pending-request planner
-  std::map<int, Pending> pending_;        ///< seq -> admitted request
-  std::vector<batch::Reservation> running_;
-  std::map<CacheKey, std::shared_ptr<Flight>> inflight_;
-  int free_slots_;
-  double virtual_now_ = 0.0;  ///< admission clock, ticks per dispatch
-  int next_seq_ = 0;
-  int active_ = 0;
-  std::size_t max_queue_depth_ = 0;
-  std::uint64_t received_ = 0, completed_ = 0, coalesced_ = 0, shed_ = 0,
-                timeouts_ = 0, errors_ = 0;
+  mutable util::Mutex mutex_;
+  std::condition_variable_any cv_;  ///< waits on util::MutexLock
+  bool stop_ CTESIM_GUARDED_BY(mutex_) = false;
+  /// Pending-request planner.
+  batch::JobQueue queue_ CTESIM_GUARDED_BY(mutex_);
+  /// seq -> admitted request.
+  std::map<int, Pending> pending_ CTESIM_GUARDED_BY(mutex_);
+  std::vector<batch::Reservation> running_ CTESIM_GUARDED_BY(mutex_);
+  std::map<CacheKey, std::shared_ptr<Flight>> inflight_
+      CTESIM_GUARDED_BY(mutex_);
+  int free_slots_ CTESIM_GUARDED_BY(mutex_);
+  /// Admission clock, ticks per dispatch.
+  double virtual_now_ CTESIM_GUARDED_BY(mutex_) = 0.0;
+  int next_seq_ CTESIM_GUARDED_BY(mutex_) = 0;
+  int active_ CTESIM_GUARDED_BY(mutex_) = 0;
+  std::size_t max_queue_depth_ CTESIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t received_ CTESIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ CTESIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t coalesced_ CTESIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_ CTESIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t timeouts_ CTESIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t errors_ CTESIM_GUARDED_BY(mutex_) = 0;
+  /// config-hash -> immutable shared model.
   std::map<std::uint64_t, std::shared_ptr<const arch::MachineModel>>
-      machines_;  ///< config-hash -> immutable shared model
-  std::map<std::string, std::uint64_t> machine_labels_;  ///< memo -> hash
-  std::uint64_t machines_built_ = 0, machines_reused_ = 0;
-  std::function<void()> worker_hook_;
+      machines_ CTESIM_GUARDED_BY(mutex_);
+  /// memo -> hash.
+  std::map<std::string, std::uint64_t> machine_labels_
+      CTESIM_GUARDED_BY(mutex_);
+  std::uint64_t machines_built_ CTESIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t machines_reused_ CTESIM_GUARDED_BY(mutex_) = 0;
+  std::function<void()> worker_hook_ CTESIM_GUARDED_BY(mutex_);
 
-  // Tracing: admission events under mutex_, one private recorder per
-  // worker, merged deterministically in export_trace().
-  std::unique_ptr<trace::Recorder> admission_rec_;
-  std::vector<std::unique_ptr<trace::Recorder>> worker_recs_;
+  // Tracing: all recorders live in the pool. Admission events are written
+  // under mutex_ (the pointer is stable; the *pointee* needs the lock —
+  // PT_GUARDED_BY); each worker_recs_[w] is private to worker w, written
+  // lock-free by that worker only; export_trace() merges after shutdown.
+  trace::RecorderPool rec_pool_;
+  trace::Recorder* admission_rec_ CTESIM_PT_GUARDED_BY(mutex_) = nullptr;
+  std::vector<trace::Recorder*> worker_recs_;  ///< const after construction
 
   std::vector<std::thread> threads_;
   const std::int64_t epoch_ns_;  ///< steady-clock origin for real_now_ps()

@@ -89,13 +89,13 @@ void TcpServer::stop() {
     ::shutdown(listen_fd_, SHUT_RDWR);
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    util::MutexLock lock(conn_mutex_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::map<std::uint64_t, std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    util::MutexLock lock(conn_mutex_);
     threads.swap(conn_threads_);
     finished_ids_.clear();
   }
@@ -111,7 +111,7 @@ void TcpServer::stop() {
 void TcpServer::reap_finished() {
   std::vector<std::thread> done;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    util::MutexLock lock(conn_mutex_);
     for (const std::uint64_t id : finished_ids_) {
       auto it = conn_threads_.find(id);
       if (it == conn_threads_.end()) continue;
@@ -137,7 +137,7 @@ void TcpServer::accept_loop() {
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    util::MutexLock lock(conn_mutex_);
     if (stop_.load()) {
       ::close(fd);
       break;
@@ -193,7 +193,7 @@ void TcpServer::serve_connection(std::uint64_t id, int fd) {
   {
     // Deregister before close so stop() never shutdown()s a recycled fd,
     // and announce completion so the accept loop can join this thread.
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    util::MutexLock lock(conn_mutex_);
     auto it = std::find(conn_fds_.begin(), conn_fds_.end(), fd);
     if (it != conn_fds_.end()) conn_fds_.erase(it);
     finished_ids_.push_back(id);

@@ -13,10 +13,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace ctesim::server {
 
@@ -44,14 +45,15 @@ class TcpServer {
 
   /// Stop accepting, shut down live connections, join all threads.
   /// Idempotent. Does not shut the Service down.
-  void stop();
+  void stop() CTESIM_EXCLUDES(conn_mutex_);
 
  private:
-  void accept_loop();
-  void serve_connection(std::uint64_t id, int fd);
+  void accept_loop() CTESIM_EXCLUDES(conn_mutex_);
+  void serve_connection(std::uint64_t id, int fd)
+      CTESIM_EXCLUDES(conn_mutex_);
   /// Join connection threads that have announced completion (accept loop
   /// housekeeping, and final sweep in stop()).
-  void reap_finished();
+  void reap_finished() CTESIM_EXCLUDES(conn_mutex_);
 
   Service& service_;
   const TcpOptions options_;
@@ -59,11 +61,14 @@ class TcpServer {
   int port_ = 0;
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
-  std::mutex conn_mutex_;
-  std::vector<int> conn_fds_;  ///< live sockets, shutdown() by stop()
-  std::uint64_t next_conn_id_ = 0;
-  std::map<std::uint64_t, std::thread> conn_threads_;
-  std::vector<std::uint64_t> finished_ids_;  ///< done, awaiting join
+  util::Mutex conn_mutex_;
+  /// Live sockets, shutdown() by stop().
+  std::vector<int> conn_fds_ CTESIM_GUARDED_BY(conn_mutex_);
+  std::uint64_t next_conn_id_ CTESIM_GUARDED_BY(conn_mutex_) = 0;
+  std::map<std::uint64_t, std::thread> conn_threads_
+      CTESIM_GUARDED_BY(conn_mutex_);
+  /// Done, awaiting join.
+  std::vector<std::uint64_t> finished_ids_ CTESIM_GUARDED_BY(conn_mutex_);
 };
 
 }  // namespace ctesim::server

@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "core/time.h"
+#include "util/time.h"
 
 namespace ctesim::trace {
 

@@ -1,0 +1,29 @@
+#include "trace/recorder_pool.h"
+
+namespace ctesim::trace {
+
+Recorder* RecorderPool::create() {
+  util::MutexLock lock(mutex_);
+  recorders_.push_back(std::make_unique<Recorder>(enabled_));
+  return recorders_.back().get();
+}
+
+std::size_t RecorderPool::size() const {
+  util::MutexLock lock(mutex_);
+  return recorders_.size();
+}
+
+void RecorderPool::merge_into(Recorder* out) const {
+  std::vector<const Recorder*> parts;
+  {
+    util::MutexLock lock(mutex_);
+    parts.reserve(recorders_.size());
+    for (const auto& rec : recorders_) parts.push_back(rec.get());
+  }
+  // The recorders themselves are read outside the registry lock: the
+  // producers that own them are quiesced by contract (header comment), and
+  // merge_from() canonicalizes ordering so the partition does not matter.
+  out->merge_from(parts);
+}
+
+}  // namespace ctesim::trace

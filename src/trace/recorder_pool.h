@@ -1,0 +1,52 @@
+// A registry of per-producer Recorders for the one-Recorder-per-worker
+// pattern (recorder.h): each concurrent producer create()s a private
+// Recorder and records into it lock-free; the pool's mutex guards only the
+// registry itself and the deterministic merge. merge_into() canonically
+// re-sorts the union of events (Recorder::merge_from), so the merged trace
+// depends only on the *set* of recorded events — never on which producer
+// recorded what, the create() order, or merge timing — keeping exported
+// traces byte-identical per seed.
+//
+// Thread contract (checked by -Wthread-safety via the annotations):
+//   * create()/size()/merge_into() lock the pool mutex internally and may
+//     be called from any thread.
+//   * The Recorder* returned by create() is owned by the pool, stays valid
+//     for the pool's lifetime, and is NOT covered by the pool mutex — it is
+//     private to the producer that asked for it. Producers must be
+//     quiesced (joined) before merge_into() reads their recorders; the
+//     server enforces this by merging only after shutdown().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "trace/recorder.h"
+#include "util/thread_annotations.h"
+
+namespace ctesim::trace {
+
+class RecorderPool {
+ public:
+  /// `enabled` is forwarded to every Recorder the pool creates; a disabled
+  /// pool hands out no-op recorders so tracing costs one branch when off.
+  explicit RecorderPool(bool enabled) : enabled_(enabled) {}
+  RecorderPool(const RecorderPool&) = delete;
+  RecorderPool& operator=(const RecorderPool&) = delete;
+
+  /// Register and return a new private Recorder (stable address).
+  Recorder* create() CTESIM_EXCLUDES(mutex_);
+
+  /// Number of recorders created so far.
+  std::size_t size() const CTESIM_EXCLUDES(mutex_);
+
+  /// Merge every pooled recorder's completed events into `out`
+  /// (deterministically — see header comment). Producers must be quiesced.
+  void merge_into(Recorder* out) const CTESIM_EXCLUDES(mutex_);
+
+ private:
+  const bool enabled_;
+  mutable util::Mutex mutex_;
+  std::vector<std::unique_ptr<Recorder>> recorders_ CTESIM_GUARDED_BY(mutex_);
+};
+
+}  // namespace ctesim::trace

@@ -1,0 +1,120 @@
+// Clang thread-safety annotations (-Wthread-safety) for the concurrent
+// layers of ctesim: the what-if server, the trace recorder pool and the
+// native measurement kernels. The macros expand to clang's capability
+// attributes under clang and to nothing elsewhere, so the default GCC
+// build is untouched while the CI `thread-safety` job proves, at compile
+// time, that every access to a CTESIM_GUARDED_BY member happens with the
+// right lock held — for *all* interleavings, not just the ones a TSan run
+// happens to execute.
+//
+// Usage (see docs/STATIC_ANALYSIS.md §6):
+//   util::Mutex mutex_;
+//   int depth_ CTESIM_GUARDED_BY(mutex_);
+//   void drain() CTESIM_EXCLUDES(mutex_);            // takes the lock itself
+//   void drain_locked() CTESIM_REQUIRES(mutex_);     // caller holds the lock
+//   { util::MutexLock lock(mutex_); ++depth_; }      // scoped acquisition
+//
+// std::mutex in libstdc++ carries no capability attribute, so the analysis
+// cannot see std::lock_guard acquisitions; annotated code therefore uses
+// the util::Mutex / util::MutexLock wrappers below (and
+// std::condition_variable_any, which waits on any BasicLockable, for
+// condition waits).
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define CTESIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CTESIM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// A type that is a lockable capability ("mutex" in diagnostics).
+#define CTESIM_CAPABILITY(x) CTESIM_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires a capability in its constructor and releases
+/// it in its destructor (std::lock_guard-shaped types).
+#define CTESIM_SCOPED_CAPABILITY CTESIM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while the named capability is held.
+#define CTESIM_GUARDED_BY(x) CTESIM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded (the pointer itself is not).
+#define CTESIM_PT_GUARDED_BY(x) CTESIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while the caller holds the capability.
+#define CTESIM_REQUIRES(...) \
+  CTESIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that may only be called while the caller does NOT hold the
+/// capability (it acquires the lock itself; calling with it held deadlocks).
+#define CTESIM_EXCLUDES(...) CTESIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires / releases the capability and holds it across the
+/// call boundary (lock()/unlock()-shaped functions).
+#define CTESIM_ACQUIRE(...) \
+  CTESIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CTESIM_RELEASE(...) \
+  CTESIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `b`.
+#define CTESIM_TRY_ACQUIRE(b, ...) \
+  CTESIM_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Escape hatch — a function whose body the analysis skips. Every use must
+/// carry a comment saying why the access pattern is safe.
+#define CTESIM_NO_THREAD_SAFETY_ANALYSIS \
+  CTESIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ctesim::util {
+
+/// std::mutex wrapped as a clang capability so that CTESIM_GUARDED_BY
+/// members and CTESIM_REQUIRES functions are actually checkable.
+class CTESIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CTESIM_ACQUIRE() { mutex_.lock(); }
+  void unlock() CTESIM_RELEASE() { mutex_.unlock(); }
+  bool try_lock() CTESIM_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock for util::Mutex (the CTESIM_SCOPED_CAPABILITY lock guard).
+/// Also BasicLockable, so std::condition_variable_any can wait on it, and
+/// it supports the unlock()/lock() window the server's worker loop opens
+/// around a long-running simulation — the analysis tracks the capability
+/// through both.
+class CTESIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) CTESIM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+    held_ = true;
+  }
+  ~MutexLock() CTESIM_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily give the lock up (condition waits, slow work).
+  void unlock() CTESIM_RELEASE() {
+    mutex_.unlock();
+    held_ = false;
+  }
+  /// Re-acquire after unlock().
+  void lock() CTESIM_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mutex_;
+  bool held_ = false;
+};
+
+}  // namespace ctesim::util

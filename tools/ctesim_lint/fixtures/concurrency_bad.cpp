@@ -1,0 +1,40 @@
+// Fixture for the concurrency rules. Each marked line must produce exactly
+// the named finding; unmarked lines must stay clean. Never compiled.
+namespace fixture {
+
+// Stand-ins shaped like util::Mutex / util::MutexLock so the lock-order
+// rule sees real guard declarations without dragging in the real header.
+namespace util {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex&);
+};
+}  // namespace util
+
+class Registry {
+ public:
+  void add(int v);
+
+ private:
+  std::mutex mutex_;  // LINT-EXPECT: raw-mutex
+  std::shared_mutex table_mutex_;  // LINT-EXPECT: raw-mutex
+  int count_ = 0;
+};
+
+inline void fire_and_forget() {
+  std::thread worker(&fire_and_forget);  // LINT-EXPECT: detached-thread
+  worker.detach();  // LINT-EXPECT: detached-thread
+}
+
+inline void take_forward(util::Mutex& a, util::Mutex& b) {
+  util::MutexLock outer(a);
+  util::MutexLock inner(b);  // LINT-EXPECT: lock-order
+}
+
+inline void take_backward(util::Mutex& a, util::Mutex& b) {
+  util::MutexLock outer(b);
+  util::MutexLock inner(a);  // LINT-EXPECT: lock-order
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Clean fixture for the concurrency rules: a capability wrapper may hold a
+// raw std::mutex (that is the one legitimate home for it), joined threads
+// are fine, and consistently ordered nested guards are fine.
+#define CTESIM_CAPABILITY(x)
+
+namespace fixture {
+
+namespace util {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex&);
+};
+}  // namespace util
+
+/// Clean: the raw mutex is the implementation of a CTESIM_CAPABILITY
+/// wrapper, which is exactly how util::Mutex itself is built.
+class CTESIM_CAPABILITY("mutex") WrappedMutex {
+ private:
+  std::mutex raw_;
+};
+
+inline void run_worker() {
+  std::thread worker(&run_worker);  // clean: joined below
+  worker.join();
+}
+
+inline void nested_same_order_1(util::Mutex& first, util::Mutex& second) {
+  util::MutexLock outer(first);
+  util::MutexLock inner(second);  // clean: every site orders first, second
+}
+
+inline void nested_same_order_2(util::Mutex& first, util::Mutex& second) {
+  util::MutexLock outer(first);
+  util::MutexLock inner(second);  // clean: same order as above
+}
+
+}  // namespace fixture

@@ -44,8 +44,10 @@ inline double timestamped() {
 }
 
 inline bool converged(double residual) {
-  if (residual == 0.0) return true;  // LINT-EXPECT: float-equality
+  if (residual == 0.0) return true;  // exact-zero guard: exempt, clean
   if (residual != 1e-9) return false;  // LINT-EXPECT: float-equality
+  if (residual == 1.5e-3) return true;  // LINT-EXPECT: float-equality
+  if (residual == 0x1.8p1) return true;  // LINT-EXPECT: float-equality
   return residual < 1e-12;  // inequality: clean
 }
 
@@ -63,5 +65,13 @@ inline double node_energy(double hours) {
 // A string mentioning steady_clock and an == 0.0 comparison must not fire:
 inline const char* doc() { return "steady_clock, x == 0.0"; }
 // Nor a comment: steady_clock, rand(), x == 0.0.
+// Nor a raw string (the masker-era scanner mis-lexed these):
+inline const char* raw_doc() {
+  return R"json({"clock": "steady_clock", "eq": "x == 1.5", "q": "\"})json";
+}
+// Nor a line comment continued by a splice: rand() below is commentary \
+   std::rand(); residual == 1.5;
+// Nor a digit separator opening a phantom char literal:
+inline long budget() { return 1'000'000 + 1'024; }
 
 }  // namespace fixture

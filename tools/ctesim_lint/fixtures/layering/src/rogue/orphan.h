@@ -1,0 +1,6 @@
+// LINT-EXPECT: layering — this subsystem is missing from layers.txt.
+#pragma once
+
+namespace fixture::rogue {
+inline int zero() { return 0; }
+}  // namespace fixture::rogue

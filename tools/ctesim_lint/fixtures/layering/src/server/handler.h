@@ -1,0 +1,9 @@
+// Layering fixture: server sits above util, so this downward include is
+// allowed by layers.txt. Clean.
+#pragma once
+
+#include "util/strings.h"
+
+namespace fixture::server {
+inline int handle(const char* request) { return util::length(request); }
+}  // namespace fixture::server

@@ -1,0 +1,9 @@
+// Layering fixture: util is the bottom layer, so including a server header
+// is a back-edge — the DAG in layers.txt must reject it.
+#pragma once
+
+#include "server/handler.h"  // LINT-EXPECT: layering
+
+namespace fixture::util {
+inline int shortcut(const char* request) { return server::handle(request); }
+}  // namespace fixture::util

@@ -1,0 +1,10 @@
+// Layering fixture: a bottom-layer header with no project includes. Clean.
+#pragma once
+
+namespace fixture::util {
+inline int length(const char* s) {
+  int n = 0;
+  while (s && s[n] != '\0') ++n;
+  return n;
+}
+}  // namespace fixture::util

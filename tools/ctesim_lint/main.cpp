@@ -2,6 +2,9 @@
 // repository. It is deliberately lexical (no AST): the rules target a small
 // set of project-specific hazards that general tools miss, and a lexical
 // scan keeps the tool dependency-free and fast enough to run as a test.
+// Every rule consumes the single-pass token stream from tokenizer.h, so
+// comments, string/char literals, raw strings, digit separators and line
+// splices can never produce false positives.
 //
 // Rules (ids are what the allowlist references):
 //   unordered-iteration  Iterating a std::unordered_map/unordered_set
@@ -16,30 +19,57 @@
 //                        Simulated time must come from the DES engine and
 //                        randomness from util/rng.h. bench/ and examples/
 //                        are exempt: native measurement needs real clocks.
-//   float-equality       ==/!= against a floating-point literal. Model math
-//                        is all doubles; exact comparison is almost always
-//                        a latent bug. Use epsilons or integer state.
+//   float-equality       ==/!= against a non-zero floating-point literal.
+//                        Model math is all doubles; exact comparison is
+//                        almost always a latent bug. Comparisons against an
+//                        exact zero ("x == 0.0") are exempt: zero is
+//                        exactly representable and such guards are
+//                        well-defined, not tolerance bugs.
 //   unvalidated-machine  A MachineModel constructed directly in a file that
 //                        never mentions validate: models must go through
 //                        arch::validate_or_throw before use.
 //   raw-power-unit       A `double` variable spelled *_watts / *_joules in
 //                        src/. Power and energy quantities crossing an API
 //                        carry the units::Watts / units::Joules strong
-//                        types (src/units/quantity.h); a raw double with a
+//                        types (src/util/units.h); a raw double with a
 //                        full unit word in its name is a quantity that
 //                        escaped the dimension algebra.
+//   raw-mutex            std::mutex (or shared/recursive/timed variants)
+//                        spelled in src/. Raw standard mutexes carry no
+//                        capability attribute, so clang -Wthread-safety
+//                        cannot check them; shared state must use
+//                        util::Mutex + CTESIM_GUARDED_BY (see
+//                        src/util/thread_annotations.h). A file that
+//                        defines its own CTESIM_CAPABILITY wrapper is
+//                        exempt — the raw mutex inside a wrapper is the
+//                        implementation.
+//   detached-thread      std::thread in a src/ file whose .h/.cpp pair
+//                        never calls join(), or an explicit .detach().
+//                        Detached threads outlive shutdown
+//                        nondeterministically.
+//   lock-order           Lexically nested lock guards that acquire two
+//                        named mutexes in opposite orders anywhere in the
+//                        corpus — the classic AB/BA deadlock. Names are
+//                        compared corpus-wide, so the two sites may live in
+//                        different files.
+//   layering             A #include edge between src/ subsystems that is
+//                        not in the dependency DAG declared in
+//                        tools/ctesim_lint/layers.txt (and sanity checks on
+//                        the declaration itself: unknown deps, cycles,
+//                        undeclared subsystems).
 //
 // Usage:
-//   ctesim_lint --root <repo_root> [--allowlist <file>]
+//   ctesim_lint --root <repo_root> [--allowlist <file>] [--layers <file>]
 //   ctesim_lint --self-test <fixtures_dir>
 //
 // The allowlist holds lines of the form "path-suffix:rule" (comments with
 // '#'). Every entry must carry a justification comment; unused entries are
 // reported so the list cannot rot. Self-test mode checks that each
 // "// LINT-EXPECT: <rule>" marker line in the fixtures produces exactly
-// that finding, and that no unexpected findings appear.
+// that finding, and that no unexpected findings appear; when the fixtures
+// contain a layering/ mini-tree with its own layers.txt, the layering
+// checker runs over it too.
 
-#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
@@ -51,91 +81,16 @@
 #include <string>
 #include <vector>
 
+#include "rules.h"
+#include "tokenizer.h"
+
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding {
-  std::string file;  // path as scanned (absolute or root-relative)
-  int line = 0;      // 1-based
-  std::string rule;
-  std::string detail;
-};
-
-struct SourceFile {
-  std::string path;
-  bool in_src = false;             // subject to the wall-clock rule
-  std::vector<std::string> raw;    // original lines (for LINT-EXPECT)
-  std::vector<std::string> code;   // comments/strings blanked out
-};
-
-/// Replace comment and string-literal contents with spaces, preserving
-/// line structure, so the rule regexes never fire inside either.
-std::string mask_comments_and_strings(const std::string& text) {
-  std::string out = text;
-  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n') {
-            if (i + 1 < out.size()) out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < out.size()) out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
+using ctesim::lint::Finding;
+using ctesim::lint::LayerGraph;
+using ctesim::lint::SourceFile;
 
 std::vector<std::string> split_lines(const std::string& text) {
   std::vector<std::string> lines;
@@ -148,141 +103,6 @@ std::vector<std::string> split_lines(const std::string& text) {
 bool has_suffix(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// Names of variables declared with an unordered container type anywhere in
-/// the corpus. Handles multi-line declarations by scanning the masked text
-/// as one string and balancing the template angle brackets.
-void collect_unordered_names(const std::string& masked,
-                             std::set<std::string>* names) {
-  static const std::regex kDecl("unordered_(?:map|set|multimap|multiset)\\s*<");
-  for (auto it = std::sregex_iterator(masked.begin(), masked.end(), kDecl);
-       it != std::sregex_iterator(); ++it) {
-    std::size_t pos = static_cast<std::size_t>(it->position()) +
-                      static_cast<std::size_t>(it->length());
-    int depth = 1;
-    while (pos < masked.size() && depth > 0) {
-      if (masked[pos] == '<') ++depth;
-      if (masked[pos] == '>') --depth;
-      ++pos;
-    }
-    // Skip whitespace, then read an identifier; "type name;" / "type name{"
-    // / "type name =" are declarations, "type>()" or "type> foo(" is not
-    // distinguished further — a spurious name only matters if something
-    // iterates it, which is exactly the hazard we want flagged.
-    while (pos < masked.size() && std::isspace(static_cast<unsigned char>(
-                                      masked[pos]))) {
-      ++pos;
-    }
-    std::string name;
-    while (pos < masked.size() &&
-           (std::isalnum(static_cast<unsigned char>(masked[pos])) ||
-            masked[pos] == '_')) {
-      name += masked[pos++];
-    }
-    if (!name.empty() && !std::isdigit(static_cast<unsigned char>(name[0]))) {
-      names->insert(name);
-    }
-  }
-}
-
-std::string last_identifier(const std::string& expr) {
-  std::size_t end = expr.size();
-  while (end > 0 && std::isspace(static_cast<unsigned char>(expr[end - 1]))) {
-    --end;
-  }
-  std::size_t begin = end;
-  while (begin > 0 &&
-         (std::isalnum(static_cast<unsigned char>(expr[begin - 1])) ||
-          expr[begin - 1] == '_')) {
-    --begin;
-  }
-  return expr.substr(begin, end - begin);
-}
-
-void scan_file(const SourceFile& file, const std::set<std::string>& unordered,
-               std::vector<Finding>* findings) {
-  static const std::regex kRangeFor("for\\s*\\([^;:)]*:\\s*([^)]+)\\)");
-  static const std::regex kBeginCall(
-      "([A-Za-z_][A-Za-z0-9_]*)\\s*\\.\\s*c?begin\\s*\\(");
-  static const std::regex kWallClock(
-      "steady_clock|system_clock|high_resolution_clock|gettimeofday|"
-      "\\btime\\s*\\(\\s*(nullptr|NULL|0)\\s*\\)|\\brand\\s*\\(\\s*\\)|"
-      "\\bsrand\\s*\\(|\\bclock\\s*\\(\\s*\\)");
-  // A floating literal on either side of ==/!=. Integer comparisons are
-  // fine; the literal must contain '.' or an exponent to qualify.
-  static const std::regex kFloatEq(
-      "[=!]=\\s*[-+]?(?:\\d+\\.\\d*|\\.\\d+|\\d+(?:\\.\\d*)?[eE][-+]?\\d+)|"
-      "(?:\\d+\\.\\d*|\\.\\d+|\\d+(?:\\.\\d*)?[eE][-+]?\\d+)[fF]?\\s*[=!]=");
-  static const std::regex kMachineDecl(
-      "\\bMachineModel\\s+[A-Za-z_][A-Za-z0-9_]*\\s*;");
-  // Full unit words only: the project's raw-double convention is the short
-  // _w/_j suffix on locals; a *_watts/*_joules double is a quantity that
-  // should be units::Watts/units::Joules.
-  static const std::regex kRawPowerUnit(
-      "\\bdouble\\s+([A-Za-z_][A-Za-z0-9_]*_(?:watts|joules))\\b");
-
-  bool mentions_validate = false;
-  for (const auto& line : file.code) {
-    if (line.find("validate") != std::string::npos) {
-      mentions_validate = true;
-      break;
-    }
-  }
-
-  for (std::size_t i = 0; i < file.code.size(); ++i) {
-    const std::string& line = file.code[i];
-    const int lineno = static_cast<int>(i) + 1;
-    std::smatch m;
-
-    if (std::regex_search(line, m, kRangeFor)) {
-      const std::string name = last_identifier(m[1].str());
-      if (unordered.count(name) > 0) {
-        findings->push_back({file.path, lineno, "unordered-iteration",
-                             "range-for over unordered container '" + name +
-                                 "' — hash order is not deterministic"});
-      }
-    }
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), kBeginCall);
-         it != std::sregex_iterator(); ++it) {
-      const std::string name = (*it)[1].str();
-      if (unordered.count(name) > 0) {
-        findings->push_back({file.path, lineno, "unordered-iteration",
-                             "iterator over unordered container '" + name +
-                                 "' — hash order is not deterministic"});
-      }
-    }
-    if (file.in_src && std::regex_search(line, m, kWallClock)) {
-      findings->push_back({file.path, lineno, "wall-clock",
-                           "wall-clock/libc randomness in simulation code "
-                           "('" + m.str() +
-                               "') — use sim::Engine time / util/rng.h"});
-    }
-    if (file.in_src && std::regex_search(line, m, kRawPowerUnit)) {
-      findings->push_back({file.path, lineno, "raw-power-unit",
-                           "raw double '" + m[1].str() +
-                               "' — use units::Watts / units::Joules "
-                               "(src/units/quantity.h) for power/energy "
-                               "quantities"});
-    }
-    if (std::regex_search(line, m, kFloatEq)) {
-      findings->push_back({file.path, lineno, "float-equality",
-                           "exact floating-point comparison ('" + m.str() +
-                               "') — compare with a tolerance"});
-    }
-    // Headers only *declare* MachineModel members (owners validate on the
-    // way in); construction without validation happens in function bodies,
-    // so the rule is scoped to implementation files.
-    const bool impl_file =
-        has_suffix(file.path, ".cpp") || has_suffix(file.path, ".cc");
-    if (impl_file && std::regex_search(line, m, kMachineDecl) &&
-        !mentions_validate) {
-      findings->push_back(
-          {file.path, lineno, "unvalidated-machine",
-           "MachineModel built without any validate call in this file — "
-           "run arch::validate_or_throw before using the model"});
-    }
-  }
 }
 
 std::vector<SourceFile> load_tree(const std::vector<fs::path>& roots,
@@ -304,7 +124,7 @@ std::vector<SourceFile> load_tree(const std::vector<fs::path>& roots,
       file.in_src = treat_all_as_src ||
                     file.path.find("/src/") != std::string::npos;
       file.raw = split_lines(buffer.str());
-      file.code = split_lines(mask_comments_and_strings(buffer.str()));
+      file.tokens = ctesim::lint::tokenize(buffer.str());
       files.push_back(std::move(file));
     }
   }
@@ -313,21 +133,6 @@ std::vector<SourceFile> load_tree(const std::vector<fs::path>& roots,
               return a.path < b.path;
             });
   return files;
-}
-
-std::vector<Finding> run_scan(const std::vector<SourceFile>& files) {
-  std::set<std::string> unordered;
-  for (const auto& file : files) {
-    std::string masked;
-    for (const auto& line : file.code) {
-      masked += line;
-      masked += '\n';
-    }
-    collect_unordered_names(masked, &unordered);
-  }
-  std::vector<Finding> findings;
-  for (const auto& file : files) scan_file(file, unordered, &findings);
-  return findings;
 }
 
 struct AllowEntry {
@@ -366,11 +171,25 @@ std::vector<AllowEntry> load_allowlist(const std::string& path) {
   return entries;
 }
 
-int run_repo(const fs::path& root, const std::string& allowlist_path) {
+int run_repo(const fs::path& root, const std::string& allowlist_path,
+             const std::string& layers_path) {
   const std::vector<fs::path> roots = {root / "src", root / "bench",
                                        root / "examples"};
   const auto files = load_tree(roots, /*treat_all_as_src=*/false);
-  auto findings = run_scan(files);
+  auto findings = ctesim::lint::run_rules(files);
+
+  if (!layers_path.empty()) {
+    LayerGraph graph;
+    std::string error;
+    if (!ctesim::lint::load_layers(layers_path, &graph, &error)) {
+      std::fprintf(stderr, "ctesim-lint: %s\n", error.c_str());
+      return 1;
+    }
+    const auto layer_findings =
+        ctesim::lint::check_layering(files, graph, layers_path);
+    findings.insert(findings.end(), layer_findings.begin(),
+                    layer_findings.end());
+  }
 
   auto allow = load_allowlist(allowlist_path);
   std::vector<Finding> reported;
@@ -412,7 +231,26 @@ int run_self_test(const fs::path& fixtures) {
                  fixtures.generic_string().c_str());
     return 1;
   }
-  const auto findings = run_scan(files);
+  auto findings = ctesim::lint::run_rules(files);
+
+  // When the fixtures ship a layering mini-tree (layering/src/... plus its
+  // own layering/layers.txt), exercise the architectural checker too. Only
+  // files with a /src/ path segment participate, so the lexical fixtures
+  // at the top level are unaffected.
+  const fs::path fixture_layers = fixtures / "layering" / "layers.txt";
+  if (fs::exists(fixture_layers)) {
+    LayerGraph graph;
+    std::string error;
+    if (!ctesim::lint::load_layers(fixture_layers.generic_string(), &graph,
+                                   &error)) {
+      std::fprintf(stderr, "ctesim-lint: %s\n", error.c_str());
+      return 1;
+    }
+    const auto layer_findings = ctesim::lint::check_layering(
+        files, graph, fixture_layers.generic_string());
+    findings.insert(findings.end(), layer_findings.begin(),
+                    layer_findings.end());
+  }
 
   // Expected: every "// LINT-EXPECT: <rule>" marker, on its own line.
   static const std::regex kExpect("LINT-EXPECT:\\s*([a-z-]+)");
@@ -454,18 +292,21 @@ int main(int argc, char** argv) {
   std::string root;
   std::string allowlist;
   std::string self_test;
+  std::string layers;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--allowlist" && i + 1 < argc) {
       allowlist = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers = argv[++i];
     } else if (arg == "--self-test" && i + 1 < argc) {
       self_test = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: ctesim_lint --root <repo> [--allowlist <file>] | "
-                   "--self-test <fixtures>\n");
+                   "usage: ctesim_lint --root <repo> [--allowlist <file>] "
+                   "[--layers <file>] | --self-test <fixtures>\n");
       return 2;
     }
   }
@@ -474,5 +315,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ctesim-lint: --root (or --self-test) required\n");
     return 2;
   }
-  return run_repo(root, allowlist);
+  if (layers.empty()) {
+    const fs::path candidate =
+        fs::path(root) / "tools" / "ctesim_lint" / "layers.txt";
+    if (fs::exists(candidate)) layers = candidate.generic_string();
+  }
+  return run_repo(root, allowlist, layers);
 }

@@ -1,0 +1,593 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <utility>
+
+namespace ctesim::lint {
+
+namespace {
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Tok::kIdentifier && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string stem_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path;
+  }
+  return path.substr(0, dot);
+}
+
+/// tokens[i] must be "<". Returns the index just past the matching ">",
+/// counting ">>" as two closers (nested template args).
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t i) {
+  int depth = 0;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (is_punct(t, "<")) {
+      ++depth;
+    } else if (is_punct(t, "<<")) {
+      depth += 2;
+    } else if (is_punct(t, ">")) {
+      --depth;
+    } else if (is_punct(t, ">>")) {
+      depth -= 2;
+    } else if (is_punct(t, ";")) {
+      break;  // not template args after all; bail out
+    }
+    ++i;
+    if (depth <= 0) break;
+  }
+  return i;
+}
+
+bool is_unordered_container(const Token& t) {
+  return t.kind == Tok::kIdentifier &&
+         (t.text == "unordered_map" || t.text == "unordered_set" ||
+          t.text == "unordered_multimap" || t.text == "unordered_multiset");
+}
+
+/// Names of variables declared with an unordered container type anywhere in
+/// the corpus. A spurious name only matters if something iterates it, which
+/// is exactly the hazard we want flagged.
+void collect_unordered_names(const std::vector<Token>& toks,
+                             std::set<std::string>* names) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_unordered_container(toks[i]) || !is_punct(toks[i + 1], "<")) {
+      continue;
+    }
+    const std::size_t past = skip_template_args(toks, i + 1);
+    if (past < toks.size() && toks[past].kind == Tok::kIdentifier) {
+      names->insert(toks[past].text);
+    }
+  }
+}
+
+bool is_guard_type(const Token& t) {
+  return t.kind == Tok::kIdentifier &&
+         (t.text == "lock_guard" || t.text == "unique_lock" ||
+          t.text == "scoped_lock" || t.text == "shared_lock" ||
+          t.text == "MutexLock");
+}
+
+bool is_lock_tag(const std::string& name) {
+  return name == "defer_lock" || name == "adopt_lock" ||
+         name == "try_to_lock";
+}
+
+/// An acquisition site: guard at `line` of `file` takes `first` while
+/// `second` (a lexically enclosing guard's mutex) is already held.
+struct LockPairSite {
+  std::string file;
+  int line = 0;
+};
+
+struct CorpusState {
+  std::set<std::string> unordered_names;
+  /// path-without-extension -> any token "join" in that file; a .h and its
+  /// .cpp share a stem, so a header declaring std::thread members is
+  /// cleared by the join() in its implementation file.
+  std::map<std::string, bool> stem_has_join;
+  /// (outer mutex, inner mutex) -> sites acquiring in that order
+  std::map<std::pair<std::string, std::string>, std::vector<LockPairSite>>
+      lock_pairs;
+};
+
+/// Walk guard declarations with a brace-depth stack and record every
+/// (held, acquired) mutex-name pair for the corpus-wide inversion check.
+void collect_lock_pairs(const SourceFile& file, CorpusState* state) {
+  const auto& toks = file.tokens;
+  struct Held {
+    int depth;
+    std::string name;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "{")) {
+      ++depth;
+      continue;
+    }
+    if (is_punct(toks[i], "}")) {
+      --depth;
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+      continue;
+    }
+    if (!is_guard_type(toks[i])) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && is_punct(toks[j], "<")) {
+      j = skip_template_args(toks, j);
+    }
+    // Declaration shape: <guard-type> [<...>] <var> ( args ) — anything
+    // else (a parameter, a using-alias) has no '(' after the variable.
+    if (j + 1 >= toks.size() || toks[j].kind != Tok::kIdentifier ||
+        !is_punct(toks[j + 1], "(")) {
+      continue;
+    }
+    // Split args at top-level ','; the mutex name is each arg's last
+    // identifier (`this->mu_`, `obj.m` -> "mu_", "m").
+    std::vector<std::string> args;
+    std::string last_ident;
+    int paren = 1;
+    std::size_t k = j + 2;
+    for (; k < toks.size() && paren > 0; ++k) {
+      const Token& t = toks[k];
+      if (is_punct(t, "(")) ++paren;
+      if (is_punct(t, ")")) {
+        --paren;
+        if (paren == 0) break;
+      }
+      if (is_punct(t, ",") && paren == 1) {
+        args.push_back(last_ident);
+        last_ident.clear();
+        continue;
+      }
+      if (t.kind == Tok::kIdentifier) last_ident = t.text;
+    }
+    args.push_back(last_ident);
+    for (const std::string& mutex_name : args) {
+      if (mutex_name.empty() || is_lock_tag(mutex_name)) continue;
+      for (const Held& h : held) {
+        if (h.name == mutex_name) continue;
+        state->lock_pairs[{h.name, mutex_name}].push_back(
+            {file.path, toks[i].line});
+      }
+    }
+    for (const std::string& mutex_name : args) {
+      if (mutex_name.empty() || is_lock_tag(mutex_name)) continue;
+      held.push_back({depth, mutex_name});
+    }
+    i = k;
+  }
+}
+
+void scan_file(const SourceFile& file, const CorpusState& corpus,
+               std::vector<Finding>* findings) {
+  const auto& toks = file.tokens;
+  const std::size_t n = toks.size();
+  auto at = [&](std::size_t i) -> const Token& {
+    static const Token kNull;
+    return i < n ? toks[i] : kNull;
+  };
+
+  const bool impl_file =
+      has_suffix(file.path, ".cpp") || has_suffix(file.path, ".cc");
+  bool mentions_validate = false;
+  bool defines_capability = false;
+  bool has_join = false;
+  for (const Token& t : toks) {
+    if (t.kind != Tok::kIdentifier) continue;
+    if (t.text.find("validate") != std::string::npos) {
+      mentions_validate = true;
+    }
+    if (t.text == "CTESIM_CAPABILITY") defines_capability = true;
+    if (t.text == "join") has_join = true;
+  }
+  if (!has_join) {
+    const auto it = corpus.stem_has_join.find(stem_of(file.path));
+    has_join = it != corpus.stem_has_join.end() && it->second;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+
+    // unordered-iteration: range-for over a known unordered name.
+    if (is_ident(t, "for") && is_punct(at(i + 1), "(")) {
+      int paren = 1;
+      std::size_t j = i + 2;
+      std::size_t colon = 0;
+      bool classic = false;
+      for (; j < n && paren > 0; ++j) {
+        if (is_punct(toks[j], "(")) ++paren;
+        if (is_punct(toks[j], ")")) --paren;
+        if (paren == 1 && is_punct(toks[j], ";")) classic = true;
+        if (paren == 1 && colon == 0 && is_punct(toks[j], ":")) colon = j;
+      }
+      if (!classic && colon != 0 && j > 0) {
+        const Token& last = toks[j - 2 < colon ? colon : j - 2];
+        if (last.kind == Tok::kIdentifier &&
+            corpus.unordered_names.count(last.text) > 0) {
+          findings->push_back(
+              {file.path, t.line, "unordered-iteration",
+               "range-for over unordered container '" + last.text +
+                   "' — hash order is not deterministic"});
+        }
+      }
+    }
+
+    // unordered-iteration: <name>.begin() / <name>.cbegin().
+    if (t.kind == Tok::kIdentifier &&
+        corpus.unordered_names.count(t.text) > 0 &&
+        is_punct(at(i + 1), ".") &&
+        (is_ident(at(i + 2), "begin") || is_ident(at(i + 2), "cbegin")) &&
+        is_punct(at(i + 3), "(")) {
+      findings->push_back({file.path, t.line, "unordered-iteration",
+                           "iterator over unordered container '" + t.text +
+                               "' — hash order is not deterministic"});
+    }
+
+    if (file.in_src && t.kind == Tok::kIdentifier) {
+      // wall-clock.
+      const bool clock_type = t.text == "steady_clock" ||
+                              t.text == "system_clock" ||
+                              t.text == "high_resolution_clock" ||
+                              t.text == "gettimeofday";
+      const bool time_null =
+          t.text == "time" && is_punct(at(i + 1), "(") &&
+          (is_ident(at(i + 2), "nullptr") || is_ident(at(i + 2), "NULL") ||
+           (at(i + 2).kind == Tok::kNumber && at(i + 2).text == "0")) &&
+          is_punct(at(i + 3), ")");
+      const bool rand_call =
+          (t.text == "rand" || t.text == "clock") &&
+          is_punct(at(i + 1), "(") && is_punct(at(i + 2), ")");
+      const bool srand_call = t.text == "srand" && is_punct(at(i + 1), "(");
+      if (clock_type || time_null || rand_call || srand_call) {
+        findings->push_back(
+            {file.path, t.line, "wall-clock",
+             "wall-clock/libc randomness in simulation code ('" + t.text +
+                 "') — use sim::Engine time / util/rng.h"});
+      }
+
+      // raw-power-unit.
+      if (t.text == "double" && at(i + 1).kind == Tok::kIdentifier &&
+          (has_suffix(at(i + 1).text, "_watts") ||
+           has_suffix(at(i + 1).text, "_joules"))) {
+        findings->push_back({file.path, t.line, "raw-power-unit",
+                             "raw double '" + at(i + 1).text +
+                                 "' — use units::Watts / units::Joules "
+                                 "(src/util/units.h) for power/energy "
+                                 "quantities"});
+      }
+
+      // raw-mutex: a std::mutex that clang's -Wthread-safety cannot see.
+      if (!defines_capability && t.text == "std" &&
+          is_punct(at(i + 1), "::") && at(i + 2).kind == Tok::kIdentifier &&
+          (at(i + 2).text == "mutex" || at(i + 2).text == "shared_mutex" ||
+           at(i + 2).text == "recursive_mutex" ||
+           at(i + 2).text == "timed_mutex")) {
+        findings->push_back(
+            {file.path, t.line, "raw-mutex",
+             "raw std::" + at(i + 2).text +
+                 " — use util::Mutex (a CTESIM_CAPABILITY wrapper) and mark "
+                 "the data it protects CTESIM_GUARDED_BY so clang "
+                 "-Wthread-safety can verify the lock discipline"});
+      }
+
+      // detached-thread: std::thread in a file pair that never joins.
+      if (!has_join && t.text == "std" && is_punct(at(i + 1), "::") &&
+          is_ident(at(i + 2), "thread")) {
+        findings->push_back(
+            {file.path, t.line, "detached-thread",
+             "std::thread without a join() in this file or its .h/.cpp "
+             "sibling — threads must be joined before teardown (or use the "
+             "tracked conn_threads_ pattern from server/tcp.cpp)"});
+      }
+    }
+
+    // detached-thread: explicit .detach() anywhere in src/.
+    if (file.in_src &&
+        (is_punct(t, ".") || is_punct(t, "->")) &&
+        is_ident(at(i + 1), "detach") && is_punct(at(i + 2), "(")) {
+      findings->push_back(
+          {file.path, at(i + 1).line, "detached-thread",
+           "thread .detach() — detached threads outlive shutdown "
+           "nondeterministically; keep the handle and join it"});
+    }
+
+    // float-equality: ==/!= against a non-zero floating literal. Exact
+    // comparison against 0.0 is a well-defined guard (zero is exactly
+    // representable), so it is exempt.
+    if ((is_punct(t, "==") || is_punct(t, "!="))) {
+      const Token& lhs = at(i == 0 ? n : i - 1);
+      std::size_t r = i + 1;
+      if (is_punct(at(r), "+") || is_punct(at(r), "-")) ++r;
+      const Token& rhs = at(r);
+      const bool lhs_bad = lhs.kind == Tok::kNumber &&
+                           is_float_literal(lhs.text) &&
+                           !is_zero_literal(lhs.text);
+      const bool rhs_bad = rhs.kind == Tok::kNumber &&
+                           is_float_literal(rhs.text) &&
+                           !is_zero_literal(rhs.text);
+      if (lhs_bad || rhs_bad) {
+        findings->push_back(
+            {file.path, t.line, "float-equality",
+             "exact floating-point comparison ('" + t.text + " " +
+                 (rhs_bad ? rhs.text : lhs.text) +
+                 "') — compare with a tolerance"});
+      }
+    }
+
+    // unvalidated-machine. Headers only *declare* MachineModel members
+    // (owners validate on the way in); construction without validation
+    // happens in function bodies, so the rule is scoped to impl files.
+    if (impl_file && !mentions_validate && is_ident(t, "MachineModel") &&
+        at(i + 1).kind == Tok::kIdentifier && is_punct(at(i + 2), ";")) {
+      findings->push_back(
+          {file.path, t.line, "unvalidated-machine",
+           "MachineModel built without any validate call in this file — "
+           "run arch::validate_or_throw before using the model"});
+    }
+  }
+}
+
+void report_lock_inversions(const CorpusState& corpus,
+                            std::vector<Finding>* findings) {
+  for (const auto& [pair, sites] : corpus.lock_pairs) {
+    const auto& [outer, inner] = pair;
+    if (outer >= inner) continue;  // handle each unordered pair once
+    const auto reverse = corpus.lock_pairs.find({inner, outer});
+    if (reverse == corpus.lock_pairs.end()) continue;
+    auto emit = [&](const std::vector<LockPairSite>& list,
+                    const std::string& a, const std::string& b,
+                    const LockPairSite& other) {
+      for (const LockPairSite& site : list) {
+        findings->push_back(
+            {site.file, site.line, "lock-order",
+             "acquires '" + b + "' while holding '" + a +
+                 "', but the opposite order appears at " + other.file + ":" +
+                 std::to_string(other.line) +
+                 " — lock-order inversion (potential deadlock)"});
+      }
+    };
+    emit(sites, outer, inner, reverse->second.front());
+    emit(reverse->second, inner, outer, sites.front());
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files) {
+  CorpusState corpus;
+  for (const SourceFile& file : files) {
+    collect_unordered_names(file.tokens, &corpus.unordered_names);
+    bool& join = corpus.stem_has_join[stem_of(file.path)];
+    for (const Token& t : file.tokens) {
+      if (is_ident(t, "join")) {
+        join = true;
+        break;
+      }
+    }
+    if (file.in_src) collect_lock_pairs(file, &corpus);
+  }
+
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) scan_file(file, corpus, &findings);
+  report_lock_inversions(corpus, &findings);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.detail) <
+                     std::tie(b.file, b.line, b.rule, b.detail);
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file == b.file && a.line == b.line &&
+                                      a.rule == b.rule;
+                             }),
+                 findings.end());
+  return findings;
+}
+
+bool load_layers(const std::string& path, LayerGraph* graph,
+                 std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start]))) {
+      ++start;
+    }
+    std::size_t end = line.size();
+    while (end > start &&
+           std::isspace(static_cast<unsigned char>(line[end - 1]))) {
+      --end;
+    }
+    line = line.substr(start, end - start);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      *error = path + ":" + std::to_string(lineno) +
+               ": expected 'name: dep1 dep2 ...'";
+      return false;
+    }
+    std::string name = line.substr(0, colon);
+    while (!name.empty() && std::isspace(static_cast<unsigned char>(
+                                name.back()))) {
+      name.pop_back();
+    }
+    if (name.empty() || graph->deps.count(name) > 0) {
+      *error = path + ":" + std::to_string(lineno) +
+               ": empty or duplicate subsystem '" + name + "'";
+      return false;
+    }
+    std::set<std::string> deps;
+    std::string word;
+    for (std::size_t i = colon + 1; i <= line.size(); ++i) {
+      const char c = i < line.size() ? line[i] : ' ';
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!word.empty()) deps.insert(word);
+        word.clear();
+      } else {
+        word += c;
+      }
+    }
+    graph->deps[name] = std::move(deps);
+    graph->order.push_back(name);
+    graph->line[name] = lineno;
+  }
+  return true;
+}
+
+namespace {
+
+/// Subsystem of a path: the component after the last "/src/"; empty when
+/// the file is not under a src/ tree or sits directly in src/.
+std::string subsystem_of(const std::string& path) {
+  const std::size_t src = path.rfind("/src/");
+  if (src == std::string::npos) return {};
+  const std::size_t begin = src + 5;
+  const std::size_t slash = path.find('/', begin);
+  if (slash == std::string::npos) return {};
+  return path.substr(begin, slash - begin);
+}
+
+/// DFS cycle detection on the declared graph. Returns the cycle as
+/// "a -> b -> ... -> a", or empty when the graph is a DAG.
+std::string find_cycle(const LayerGraph& graph) {
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> path;
+  std::string cycle;
+  // Iterative DFS with an explicit stack of (node, next-dep iterator).
+  for (const std::string& root : graph.order) {
+    if (color[root] != 0) continue;
+    struct Frame {
+      std::string node;
+      std::set<std::string>::const_iterator it;
+    };
+    std::vector<Frame> stack;
+    color[root] = 1;
+    path.push_back(root);
+    stack.push_back({root, graph.deps.at(root).begin()});
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const auto& deps = graph.deps.at(top.node);
+      if (top.it == deps.end()) {
+        color[top.node] = 2;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const std::string next = *top.it++;
+      if (!graph.known(next)) continue;  // reported separately
+      if (color[next] == 1) {
+        // Found a back edge: slice the grey path from `next` onward.
+        std::size_t at = 0;
+        while (at < path.size() && path[at] != next) ++at;
+        for (std::size_t i = at; i < path.size(); ++i) {
+          cycle += path[i] + " -> ";
+        }
+        cycle += next;
+        return cycle;
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        path.push_back(next);
+        stack.push_back({next, graph.deps.at(next).begin()});
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Finding> check_layering(const std::vector<SourceFile>& files,
+                                    const LayerGraph& graph,
+                                    const std::string& layers_path) {
+  std::vector<Finding> findings;
+
+  // The declared graph must itself be sane before it can constrain code.
+  for (const std::string& name : graph.order) {
+    for (const std::string& dep : graph.deps.at(name)) {
+      if (!graph.known(dep)) {
+        findings.push_back(
+            {layers_path, graph.line.at(name), "layering",
+             "layer '" + name + "' depends on undeclared subsystem '" + dep +
+                 "'"});
+      }
+    }
+  }
+  const std::string cycle = find_cycle(graph);
+  if (!cycle.empty()) {
+    findings.push_back({layers_path, 1, "layering",
+                        "declared layer graph has a cycle: " + cycle +
+                            " — the layering must be a DAG"});
+  }
+
+  for (const SourceFile& file : files) {
+    const std::string sub = subsystem_of(file.path);
+    if (sub.empty()) continue;  // not a subsystem file
+    if (!graph.known(sub)) {
+      findings.push_back({file.path, 1, "layering",
+                          "subsystem '" + sub +
+                              "' is not declared in layers.txt — add it "
+                              "with its allowed dependencies"});
+      continue;
+    }
+    const auto& allowed = graph.deps.at(sub);
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!is_punct(toks[i], "#") || !is_ident(toks[i + 1], "include")) {
+        continue;
+      }
+      const Token& target = toks[i + 2];
+      if (target.kind != Tok::kString && target.kind != Tok::kHeaderName) {
+        continue;
+      }
+      const std::size_t slash = target.text.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string dst = target.text.substr(0, slash);
+      if (!graph.known(dst)) continue;  // not a subsystem include
+      if (dst == sub || allowed.count(dst) > 0) continue;
+      findings.push_back(
+          {file.path, target.line, "layering",
+           "#include \"" + target.text + "\": subsystem '" + sub +
+               "' may not depend on '" + dst +
+               "' (include chain " + sub + " -> " + dst +
+               " is not in layers.txt) — either the include points the "
+               "wrong way or the layering declaration needs a deliberate "
+               "update"});
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.detail) <
+                     std::tie(b.file, b.line, b.rule, b.detail);
+            });
+  return findings;
+}
+
+}  // namespace ctesim::lint

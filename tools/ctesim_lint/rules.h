@@ -1,0 +1,76 @@
+// Rule engine for ctesim-lint. Every rule walks the token stream produced
+// by tokenizer.h; none of them ever sees comment or string-literal text, so
+// the masker-era false positives (and the allowlist entries that papered
+// over them) are gone by construction.
+//
+// Lexical rules (see main.cpp for the per-rule rationale):
+//   unordered-iteration, wall-clock, float-equality, unvalidated-machine,
+//   raw-power-unit, raw-mutex, detached-thread, lock-order.
+//
+// Architectural rule:
+//   layering — #include edges between src/ subsystems must follow the
+//   dependency DAG declared in tools/ctesim_lint/layers.txt.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tokenizer.h"
+
+namespace ctesim::lint {
+
+struct Finding {
+  std::string file;  ///< path as scanned (absolute or root-relative)
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string detail;
+};
+
+struct SourceFile {
+  std::string path;
+  bool in_src = false;            ///< subject to the src/-only rules
+  std::vector<std::string> raw;   ///< original lines (for LINT-EXPECT)
+  std::vector<Token> tokens;
+};
+
+/// Run all lexical rules over the corpus. Corpus-wide state (unordered
+/// container names, .h/.cpp join pairing, lock-acquisition order pairs) is
+/// gathered in a first pass, so cross-file hazards are caught.
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files);
+
+/// Declared subsystem dependency graph (tools/ctesim_lint/layers.txt).
+/// One line per subsystem: "name: dep1 dep2 ..." ('#' comments allowed).
+/// A subsystem may always include itself; anything else must be listed.
+struct LayerGraph {
+  /// subsystem -> directly allowed dependencies
+  std::map<std::string, std::set<std::string>> deps;
+  /// declaration order, for stable reporting
+  std::vector<std::string> order;
+  /// subsystem -> 1-based line of its declaration in layers.txt
+  std::map<std::string, int> line;
+
+  bool known(const std::string& subsystem) const {
+    return deps.find(subsystem) != deps.end();
+  }
+};
+
+/// Parse layers.txt. Returns false (with *error set) on malformed input.
+bool load_layers(const std::string& path, LayerGraph* graph,
+                 std::string* error);
+
+/// Check the declared graph itself is a DAG plus every src/ include edge
+/// against it. Findings carry rule "layering":
+///   - a cycle among the declared layers (reported once, with the cycle);
+///   - a file in a subsystem absent from layers.txt;
+///   - an include whose target subsystem is not in the including
+///     subsystem's declared dependencies (the back-edge / skipped layer).
+/// The subsystem of a file is the path component after the last "/src/";
+/// files outside src/ (bench/, examples/, fixtures without a src/ segment)
+/// are not constrained.
+std::vector<Finding> check_layering(const std::vector<SourceFile>& files,
+                                    const LayerGraph& graph,
+                                    const std::string& layers_path);
+
+}  // namespace ctesim::lint

@@ -1,0 +1,350 @@
+#include "tokenizer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ctesim::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Character cursor that transparently removes backslash-newline splices
+/// (translation phase 2) while tracking physical line numbers. Raw-string
+/// scanning bypasses it and reads the original bytes.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  bool eof() {
+    skip_splices();
+    return i_ >= s_.size();
+  }
+  char peek() {
+    skip_splices();
+    return i_ < s_.size() ? s_[i_] : '\0';
+  }
+  /// Lookahead k logical characters past the current one (k=1 is "next").
+  char peek_ahead(std::size_t k) {
+    std::size_t save_i = i_;
+    int save_line = line_;
+    char c = '\0';
+    for (std::size_t n = 0; n <= k; ++n) {
+      skip_splices();
+      if (i_ >= s_.size()) {
+        c = '\0';
+        break;
+      }
+      c = s_[i_];
+      if (n < k) advance_raw();
+    }
+    i_ = save_i;
+    line_ = save_line;
+    return c;
+  }
+  char get() {
+    skip_splices();
+    if (i_ >= s_.size()) return '\0';
+    const char c = s_[i_];
+    advance_raw();
+    return c;
+  }
+  int line() const { return line_; }
+
+  // Raw access for raw-string bodies (no splice processing).
+  std::size_t raw_pos() const { return i_; }
+  char raw_at(std::size_t pos) const {
+    return pos < s_.size() ? s_[pos] : '\0';
+  }
+  std::size_t raw_size() const { return s_.size(); }
+  void raw_seek(std::size_t pos, int lines_crossed) {
+    i_ = pos;
+    line_ += lines_crossed;
+  }
+
+ private:
+  void advance_raw() {
+    if (s_[i_] == '\n') ++line_;
+    ++i_;
+  }
+  void skip_splices() {
+    while (i_ + 1 < s_.size() && s_[i_] == '\\') {
+      if (s_[i_ + 1] == '\n') {
+        i_ += 2;
+        ++line_;
+      } else if (s_[i_ + 1] == '\r' && i_ + 2 < s_.size() &&
+                 s_[i_ + 2] == '\n') {
+        i_ += 3;
+        ++line_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+};
+
+bool is_string_prefix(const std::string& id) {
+  return id == "R" || id == "u8" || id == "u" || id == "U" || id == "L" ||
+         id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+/// Longest-match punctuator table (only lengths 3, 2, 1 matter to us; the
+/// rules care that "==", "::", "->" and ">>" lex as units).
+const char* const kPunct3[] = {"<<=", ">>=", "...", "->*", "<=>"};
+const char* const kPunct2[] = {"==", "!=", "<=", ">=", "->", "::", "<<",
+                               ">>", "&&", "||", "+=", "-=", "*=", "/=",
+                               "%=", "^=", "&=", "|=", "++", "--", "##",
+                               ".*"};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> out;
+  Cursor cur(text);
+  bool at_line_start = true;  // only whitespace seen on this logical line
+  bool in_pp = false;
+
+  auto emit = [&](Tok kind, std::string tok_text, int line) {
+    out.push_back(Token{kind, std::move(tok_text), line, in_pp});
+  };
+
+  while (!cur.eof()) {
+    const char c = cur.peek();
+
+    if (c == '\n') {
+      cur.get();
+      at_line_start = true;
+      in_pp = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.get();
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cur.peek_ahead(1) == '/') {
+      cur.get();
+      cur.get();
+      // A splice continues the comment onto the next physical line; the
+      // cursor removes splices, so the loop naturally keeps consuming.
+      while (!cur.eof() && cur.peek() != '\n') cur.get();
+      continue;
+    }
+    if (c == '/' && cur.peek_ahead(1) == '*') {
+      cur.get();
+      cur.get();
+      while (!cur.eof()) {
+        if (cur.peek() == '*' && cur.peek_ahead(1) == '/') {
+          cur.get();
+          cur.get();
+          break;
+        }
+        cur.get();
+      }
+      continue;
+    }
+
+    const int line = cur.line();
+
+    // Preprocessor directive start.
+    if (c == '#' && at_line_start) {
+      in_pp = true;
+      cur.get();
+      emit(Tok::kPunct, "#", line);
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    // #include <...> header name.
+    if (in_pp && c == '<' && out.size() >= 2 &&
+        out.back().kind == Tok::kIdentifier &&
+        (out.back().text == "include" || out.back().text == "include_next") &&
+        out[out.size() - 2].text == "#") {
+      cur.get();
+      std::string path;
+      while (!cur.eof() && cur.peek() != '>' && cur.peek() != '\n') {
+        path += cur.get();
+      }
+      if (cur.peek() == '>') cur.get();
+      emit(Tok::kHeaderName, std::move(path), line);
+      continue;
+    }
+
+    // Identifier (or string-literal encoding prefix).
+    if (ident_start(c)) {
+      std::string id;
+      while (!cur.eof() && ident_char(cur.peek())) id += cur.get();
+      if (cur.peek() == '"' && is_string_prefix(id)) {
+        const bool raw = id.find('R') != std::string::npos;
+        cur.get();  // opening quote
+        if (raw) {
+          // R"delim( ... )delim" — verbatim bytes, no splices/escapes.
+          std::string delim;
+          while (!cur.eof() && cur.peek() != '(' && cur.peek() != '\n' &&
+                 delim.size() < 16) {
+            delim += cur.get();
+          }
+          if (cur.peek() == '(') cur.get();
+          const std::string closer = ")" + delim + "\"";
+          std::size_t pos = cur.raw_pos();
+          int newlines = 0;
+          std::string body;
+          while (pos < cur.raw_size()) {
+            if (cur.raw_at(pos) == closer[0] &&
+                text.compare(pos, closer.size(), closer) == 0) {
+              pos += closer.size();
+              break;
+            }
+            if (cur.raw_at(pos) == '\n') ++newlines;
+            body += cur.raw_at(pos);
+            ++pos;
+          }
+          cur.raw_seek(pos, newlines);
+          emit(Tok::kString, std::move(body), line);
+        } else {
+          std::string body;
+          while (!cur.eof() && cur.peek() != '"' && cur.peek() != '\n') {
+            if (cur.peek() == '\\') {
+              body += cur.get();
+              if (!cur.eof()) body += cur.get();
+            } else {
+              body += cur.get();
+            }
+          }
+          if (cur.peek() == '"') cur.get();
+          emit(Tok::kString, std::move(body), line);
+        }
+      } else {
+        emit(Tok::kIdentifier, std::move(id), line);
+      }
+      continue;
+    }
+
+    // Number (pp-number): digit, or '.' followed by a digit.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(
+                         cur.peek_ahead(1))))) {
+      std::string num;
+      num += cur.get();
+      while (!cur.eof()) {
+        const char n = cur.peek();
+        if (ident_char(n) || n == '.') {
+          num += cur.get();
+          // Exponent sign belongs to the number: 1e-3, 0x1p+2.
+          if ((n == 'e' || n == 'E' || n == 'p' || n == 'P') &&
+              (cur.peek() == '+' || cur.peek() == '-') &&
+              !(num.size() >= 2 && num[1] == 'x' && (n == 'e' || n == 'E'))) {
+            num += cur.get();
+          }
+        } else if (n == '\'' && ident_char(cur.peek_ahead(1))) {
+          num += cur.get();  // digit separator, not a char literal
+        } else {
+          break;
+        }
+      }
+      emit(Tok::kNumber, std::move(num), line);
+      continue;
+    }
+
+    // String literal without prefix.
+    if (c == '"') {
+      cur.get();
+      std::string body;
+      while (!cur.eof() && cur.peek() != '"' && cur.peek() != '\n') {
+        if (cur.peek() == '\\') {
+          body += cur.get();
+          if (!cur.eof()) body += cur.get();
+        } else {
+          body += cur.get();
+        }
+      }
+      if (cur.peek() == '"') cur.get();
+      emit(Tok::kString, std::move(body), line);
+      continue;
+    }
+
+    // Character literal.
+    if (c == '\'') {
+      cur.get();
+      std::string body;
+      while (!cur.eof() && cur.peek() != '\'' && cur.peek() != '\n') {
+        if (cur.peek() == '\\') {
+          body += cur.get();
+          if (!cur.eof()) body += cur.get();
+        } else {
+          body += cur.get();
+        }
+      }
+      if (cur.peek() == '\'') cur.get();
+      emit(Tok::kCharLit, std::move(body), line);
+      continue;
+    }
+
+    // Punctuator, maximal munch.
+    {
+      char buf3[4] = {c, cur.peek_ahead(1), cur.peek_ahead(2), '\0'};
+      std::string p;
+      for (const char* q : kPunct3) {
+        if (q[0] == buf3[0] && q[1] == buf3[1] && q[2] == buf3[2]) {
+          p = q;
+          break;
+        }
+      }
+      if (p.empty()) {
+        for (const char* q : kPunct2) {
+          if (q[0] == buf3[0] && q[1] == buf3[1]) {
+            p = q;
+            break;
+          }
+        }
+      }
+      if (p.empty()) p = std::string(1, c);
+      for (std::size_t n = 0; n < p.size(); ++n) cur.get();
+      emit(Tok::kPunct, std::move(p), line);
+    }
+  }
+  return out;
+}
+
+bool is_float_literal(const std::string& s) {
+  if (s.empty()) return false;
+  const bool hex =
+      s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X');
+  if (hex) {
+    return s.find('p') != std::string::npos ||
+           s.find('P') != std::string::npos;
+  }
+  if (s.find('.') != std::string::npos) return true;
+  return s.find('e') != std::string::npos || s.find('E') != std::string::npos;
+}
+
+bool is_zero_literal(const std::string& s) {
+  if (!is_float_literal(s)) return false;
+  std::string cleaned;
+  for (const char c : s) {
+    if (c == '\'') continue;
+    cleaned += c;
+  }
+  while (!cleaned.empty()) {
+    const char back = cleaned.back();
+    if (back == 'f' || back == 'F' || back == 'l' || back == 'L') {
+      cleaned.pop_back();
+    } else {
+      break;
+    }
+  }
+  return std::strtod(cleaned.c_str(), nullptr) == 0.0;
+}
+
+}  // namespace ctesim::lint

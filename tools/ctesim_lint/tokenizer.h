@@ -1,0 +1,60 @@
+// Single-pass C++ tokenizer for ctesim-lint. It replaces the old
+// regex-over-masked-lines core: instead of blanking comments/strings with a
+// line-oriented state machine (which mis-lexed raw strings, digit
+// separators and line-spliced comments, and papered over the resulting
+// false positives with allowlist entries), every rule now consumes a real
+// token stream.
+//
+// Handled correctly, in one pass:
+//   * // and /* */ comments (produce no tokens), including line comments
+//     continued by a backslash-newline splice;
+//   * string literals with encoding prefixes (u8"", L"", ...), escape
+//     sequences, and raw strings R"delim(...)delim" whose contents are
+//     taken verbatim (no splice or escape processing);
+//   * character literals, including escapes ('\'', '\\');
+//   * pp-numbers with digit separators (1'000'000), hex floats (0x1p3)
+//     and exponent signs (1.5e-3) as single tokens, so a '\'' digit
+//     separator never opens a phantom character literal;
+//   * backslash-newline line splices anywhere (inside tokens, comments and
+//     non-raw literals), with physical line numbers preserved;
+//   * preprocessor logical lines: tokens carry an in_pp flag and
+//     `#include <...>` yields a kHeaderName token.
+//
+// The tokenizer is error-tolerant (an unterminated literal or comment
+// simply ends at end-of-file) and never throws.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ctesim::lint {
+
+enum class Tok {
+  kIdentifier,  ///< identifiers and keywords
+  kNumber,      ///< pp-number (integer or floating, any base)
+  kString,      ///< string literal; text = contents without quotes/prefix
+  kCharLit,     ///< character literal; text = contents without quotes
+  kPunct,       ///< operator/punctuator, maximal munch ("==", "::", ">>")
+  kHeaderName,  ///< <...> after #include; text = path without angles
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string text;
+  int line = 0;       ///< 1-based physical line of the token's first char
+  bool in_pp = false; ///< inside a preprocessor directive logical line
+};
+
+/// Tokenize a whole translation unit's text. Comments produce no tokens.
+std::vector<Token> tokenize(const std::string& text);
+
+/// True if a kNumber spelling is a floating-point literal: a '.' or a
+/// decimal exponent in decimal literals, a p/P exponent in hex ones.
+bool is_float_literal(const std::string& spelling);
+
+/// True if a floating-point spelling has the exact value zero
+/// ("0.0", ".0", "0.", "0e9", "0.00f"). Exact-zero comparisons are
+/// well-defined guards, not tolerance bugs, so float-equality exempts them.
+bool is_zero_literal(const std::string& spelling);
+
+}  // namespace ctesim::lint

@@ -1,0 +1,37 @@
+// Seeded thread-safety violation — the canary for the CI `thread-safety`
+// job. It accesses a CTESIM_GUARDED_BY member without holding the mutex,
+// so `clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety` over
+// this file MUST fail; the job inverts the exit code. If clang ever stops
+// diagnosing this, the "analysis passed over src/" signal is meaningless
+// and the job fails loudly instead of rubber-stamping.
+//
+// Deliberately NOT under tools/ctesim_lint/fixtures/ (the lint self-test
+// scans that tree) and never added to any CMake target.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (on purpose): writes value_ without acquiring mutex_. With the
+  // annotation macros active this is a -Wthread-safety error; without
+  // them (GCC) it compiles silently, which is why the CI job uses clang.
+  void bump() { ++value_; }
+
+  int read() CTESIM_EXCLUDES(mutex_) {
+    ctesim::util::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  ctesim::util::Mutex mutex_;
+  int value_ CTESIM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int seeded_violation_canary() {
+  Counter c;
+  c.bump();
+  return c.read();
+}
