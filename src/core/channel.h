@@ -31,7 +31,10 @@ class Channel {
       waiters_.pop_front();
       waiter->value.emplace(std::move(value));
       const auto handle = waiter->handle;
-      engine_->schedule_in(0, [handle] { handle.resume(); });
+      auto resume = [handle] { handle.resume(); };
+      static_assert(Engine::Callback::fits_inline<decltype(resume)>,
+                    "core must never schedule a spilling closure");
+      engine_->schedule_in(0, std::move(resume));
       return;
     }
     items_.push_back(std::move(value));

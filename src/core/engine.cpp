@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "trace/recorder.h"
@@ -11,24 +12,17 @@ namespace ctesim::sim {
 Engine::~Engine() {
   // Drop pending events (and the coroutine handles they capture) before the
   // member destruction order tears down the coroutine frames themselves.
-  while (!queue_.empty()) queue_.pop();
-}
-
-void Engine::schedule_in(Time delay, std::function<void()> fn) {
-  CTESIM_EXPECTS(delay >= 0);
-  schedule_at(now_ + delay, std::move(fn));
-}
-
-void Engine::schedule_at(Time t, std::function<void()> fn) {
-  CTESIM_EXPECTS(t >= now_);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  queue_.clear();
 }
 
 void Engine::spawn(Task<> task) {
   CTESIM_EXPECTS(task.valid());
   processes_.push_back(std::move(task));
   auto handle = processes_.back().handle();
-  schedule_in(0, [handle] { handle.resume(); });
+  auto resume = [handle] { handle.resume(); };
+  static_assert(Callback::fits_inline<decltype(resume)>,
+                "core must never schedule a spilling closure");
+  schedule_in(0, std::move(resume));
 }
 
 void Engine::set_recorder(trace::Recorder* recorder,
@@ -38,17 +32,17 @@ void Engine::set_recorder(trace::Recorder* recorder,
   sample_interval_ = sample_interval;
 }
 
-void Engine::dispatch(Event&& event) {
-  CTESIM_DCHECK(event.time >= now_,
+void Engine::dispatch(Time time, Callback& fn) {
+  CTESIM_DCHECK(time >= now_,
                 "simulated time must be monotone: event scheduled in the "
                 "past reached the dispatcher");
-  now_ = event.time;
+  now_ = time;
   ++events_processed_;
   if (recorder_ && events_processed_ % sample_interval_ == 0) {
     recorder_->counter(trace::Track::global(), "core", "events_processed",
                        now_, static_cast<double>(events_processed_));
   }
-  event.fn();
+  fn();
 }
 
 void Engine::check_failures() {
@@ -57,11 +51,34 @@ void Engine::check_failures() {
   }
 }
 
+void Engine::reap_sweep() {
+  // Drop finished processes (frames go back to the frame pool); keep the
+  // failed ones so check_failures() still rethrows in spawn order, exactly
+  // as before reaping existed. remove_if is stable, so relative order —
+  // and therefore which failure is rethrown first — is preserved.
+  processes_.erase(
+      std::remove_if(processes_.begin(), processes_.end(),
+                     [](const Task<>& t) { return t.done() && !t.failed(); }),
+      processes_.end());
+  // Re-arm at 2x the surviving population: the sweep above is O(survivors),
+  // so total reaping work stays linear in processes spawned — amortised
+  // O(1) per process — while processes_ stays O(live), not O(ever spawned).
+  reap_threshold_ =
+      std::max(kMinReapThreshold, processes_.size() * 2);
+}
+
 Time Engine::run() {
   while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
-    dispatch(std::move(event));
+    // pop_earliest moves the callback (inline storage and all) out of the
+    // queue's slot slab; the old copy-then-pop via
+    // std::priority_queue::top() cost a copy of a heap-allocated
+    // std::function per dispatch. BM_ScheduleDispatch vs
+    // BM_ScheduleDispatchLegacy (bench/engine_rate.cpp) keeps that
+    // difference measured so it cannot silently regress.
+    Time t;
+    Callback fn = queue_.pop_earliest(t);
+    dispatch(t, fn);
+    reap_finished();
   }
   check_failures();
   return now_;
@@ -69,10 +86,11 @@ Time Engine::run() {
 
 bool Engine::run_until(Time limit) {
   CTESIM_EXPECTS(limit >= now_);
-  while (!queue_.empty() && queue_.top().time <= limit) {
-    Event event = queue_.top();
-    queue_.pop();
-    dispatch(std::move(event));
+  while (!queue_.empty() && queue_.top_time() <= limit) {
+    Time t;
+    Callback fn = queue_.pop_earliest(t);
+    dispatch(t, fn);
+    reap_finished();
   }
   check_failures();
   const bool drained = queue_.empty();

@@ -27,7 +27,10 @@ class Event {
     auto waiters = std::move(waiters_);
     waiters_.clear();
     for (auto handle : waiters) {
-      engine_->schedule_in(0, [handle] { handle.resume(); });
+      auto resume = [handle] { handle.resume(); };
+      static_assert(Engine::Callback::fits_inline<decltype(resume)>,
+                    "core must never schedule a spilling closure");
+      engine_->schedule_in(0, std::move(resume));
     }
   }
 
@@ -76,7 +79,10 @@ class Semaphore {
       waiters_.pop_front();
       waiter->granted = true;
       const auto handle = waiter->handle;
-      engine_->schedule_in(0, [handle] { handle.resume(); });
+      auto resume = [handle] { handle.resume(); };
+      static_assert(Engine::Callback::fits_inline<decltype(resume)>,
+                    "core must never schedule a spilling closure");
+      engine_->schedule_in(0, std::move(resume));
       return;
     }
     ++count_;

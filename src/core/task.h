@@ -16,9 +16,11 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
 
+#include "core/frame_pool.h"
 #include "util/check.h"
 
 namespace ctesim::sim {
@@ -51,6 +53,19 @@ struct PromiseBase {
   std::suspend_always initial_suspend() noexcept { return {}; }
   FinalAwaiter final_suspend() noexcept { return {}; }
   void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+  // Coroutine frames come from the size-bucketed per-thread pool: spawn/
+  // resume/destroy of short-lived processes dominates batch and simmpi
+  // studies, and after warm-up a frame costs a pointer pop instead of a
+  // malloc (tests/test_engine_alloc.cpp asserts the zero-allocation steady
+  // state). Declaring only the sized delete makes the compiler pass the
+  // frame size back, which is what lets the pool bucket without a header.
+  static void* operator new(std::size_t size) {
+    return frame_pool::allocate(size);
+  }
+  static void operator delete(void* ptr, std::size_t size) noexcept {
+    frame_pool::deallocate(ptr, size);
+  }
 };
 
 template <typename T>
@@ -109,6 +124,10 @@ class [[nodiscard]] Task {
 
   bool valid() const { return static_cast<bool>(handle_); }
   bool done() const { return handle_ && handle_.promise().done; }
+
+  /// True when the task finished by throwing (Engine's incremental reaper
+  /// must keep such tasks alive until check_failures() rethrows).
+  bool failed() const { return handle_ && handle_.promise().exception; }
 
   /// Rethrow any exception the task finished with (no-op otherwise).
   void rethrow_if_failed() const {

@@ -1,12 +1,15 @@
 // Unit tests for the DES engine, coroutine tasks and channels.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/channel.h"
 #include "core/engine.h"
 #include "core/task.h"
+#include "util/rng.h"
 
 namespace ctesim::sim {
 namespace {
@@ -64,6 +67,55 @@ TEST(Engine, RunUntilStopsAtLimit) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Engine, RandomizedScheduleMatchesStableSortOracle) {
+  // The 4-ary heap must dispatch in exactly the order of a stable sort by
+  // time over the scheduling sequence — same contract the old
+  // std::priority_queue<Event> satisfied, so traces stay byte-identical.
+  Rng rng(424242);
+  for (int trial = 0; trial < 50; ++trial) {
+    Engine engine;
+    std::vector<std::pair<Time, int>> scheduled;
+    std::vector<int> fired;
+    for (int i = 0; i < 300; ++i) {
+      // A tiny time domain forces long runs of equal-time events.
+      const Time t = static_cast<Time>(rng.next_u64() % 5);
+      scheduled.emplace_back(t, i);
+      engine.schedule_in(t, [&fired, i] { fired.push_back(i); });
+    }
+    std::stable_sort(scheduled.begin(), scheduled.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    engine.run();
+    ASSERT_EQ(fired.size(), scheduled.size());
+    for (std::size_t i = 0; i < fired.size(); ++i) {
+      ASSERT_EQ(fired[i], scheduled[i].second) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Engine, RunUntilBoundaryIsInclusive) {
+  // run_until(limit) fires events scheduled exactly AT the limit — the
+  // boundary is inclusive, and the engine lands on now() == limit either
+  // way. Pinned so the queue rebuild cannot shift the semantics.
+  Engine engine;
+  std::vector<int> fired;
+  engine.schedule_in(49, [&] { fired.push_back(49); });
+  engine.schedule_in(50, [&] { fired.push_back(50); });
+  engine.schedule_in(151, [&] { fired.push_back(151); });
+  EXPECT_FALSE(engine.run_until(50));
+  EXPECT_EQ(fired, (std::vector<int>{49, 50}));
+  EXPECT_EQ(engine.now(), 50);
+  // Equal-time events exactly at the limit: both fire, in scheduling order.
+  engine.schedule_in(10, [&] { fired.push_back(60); });
+  engine.schedule_in(10, [&] { fired.push_back(61); });
+  EXPECT_FALSE(engine.run_until(60));
+  EXPECT_EQ(fired, (std::vector<int>{49, 50, 60, 61}));
+  EXPECT_TRUE(engine.run_until(200));
+  EXPECT_EQ(fired, (std::vector<int>{49, 50, 60, 61, 151}));
+  EXPECT_EQ(engine.now(), 200);
+}
+
 TEST(Engine, CountsEvents) {
   Engine engine;
   for (int i = 0; i < 7; ++i) engine.schedule_in(i, [] {});
@@ -115,6 +167,40 @@ TEST(Process, ExceptionsPropagateFromRun) {
   Engine engine;
   engine.spawn(thrower(engine));
   EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+Task<> quick(Engine& engine) { co_await engine.delay(1); }
+
+Task<> failing_burst(Engine& engine, int total) {
+  for (int i = 0; i < total; ++i) {
+    engine.spawn(quick(engine));
+    co_await engine.delay(1);
+  }
+  throw std::runtime_error("late failure");
+}
+
+TEST(Process, ExceptionsSurviveIncrementalReaping) {
+  // Hundreds of healthy processes finish (and are reaped mid-run) around a
+  // driver that eventually throws: run() must still rethrow, because the
+  // reaper only drops tasks that finished cleanly.
+  Engine engine;
+  engine.spawn(failing_burst(engine, 500));
+  EXPECT_THROW(engine.run(), std::runtime_error);
+  // The healthy 500 were swept while running; only the failed driver plus
+  // the not-yet-reaped tail remain tracked.
+  EXPECT_LT(engine.tracked_processes(), 500u);
+  EXPECT_EQ(engine.unfinished_processes(), 0u);
+}
+
+TEST(Engine, TeardownWithPendingEventsAndLiveProcessesIsClean) {
+  // Destroy an engine that never ran: the queue still holds resume
+  // callbacks pointing into coroutine frames. The destructor must drop the
+  // queue before the frames (ASan would flag the reverse order).
+  Engine engine;
+  engine.spawn(quick(engine));
+  engine.spawn(quick(engine));
+  engine.schedule_in(5, [] {});
+  EXPECT_EQ(engine.tracked_processes(), 2u);
 }
 
 Task<> catcher(Engine& engine, bool* caught) {

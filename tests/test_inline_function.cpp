@@ -1,0 +1,135 @@
+// util::InlineFunction: the SBO contract the engine's hot path depends on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/inline_function.h"
+
+namespace ctesim::util {
+namespace {
+
+using Fn = InlineFunction<void()>;
+
+std::uint64_t spills() {
+  return inline_function_spill_count().load(std::memory_order_relaxed);
+}
+
+TEST(InlineFunction, SmallClosureStaysInline) {
+  int hits = 0;
+  int* p = &hits;
+  const auto before = spills();
+  Fn fn([p] { ++*p; });  // 8 bytes: must never touch the heap
+  EXPECT_EQ(spills(), before);
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, CapacitySizedClosureStaysInline) {
+  // Exactly kInlineFunctionCapacity bytes of captured state.
+  std::array<std::uint8_t, kInlineFunctionCapacity> payload{};
+  payload.fill(7);
+  static_assert(Fn::fits_inline<decltype([payload] {
+    (void)payload;
+  })>);
+  const auto before = spills();
+  int sum = 0;
+  int* out = &sum;
+  std::array<std::uint8_t, kInlineFunctionCapacity - sizeof(int*)> pad{};
+  pad.fill(3);
+  Fn fn([out, pad] { *out = pad[0] + pad[pad.size() - 1]; });
+  EXPECT_EQ(spills(), before);
+  fn();
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(InlineFunction, OversizedClosureTakesCountedHeapFallback) {
+  std::array<std::uint8_t, kInlineFunctionCapacity + 1> big{};
+  big.fill(5);
+  static_assert(!Fn::fits_inline<decltype([big] { (void)big; })>);
+  const auto before = spills();
+  int got = 0;
+  int* out = &got;
+  Fn fn([out, big] { *out = big[big.size() - 1]; });
+  EXPECT_EQ(spills(), before + 1);  // the fallback is counted, not silent
+  fn();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(InlineFunction, MoveTransfersInlineState) {
+  int calls = 0;
+  int* p = &calls;
+  Fn a([p] { ++*p; });
+  Fn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  Fn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunction, MoveTransfersHeapState) {
+  std::array<std::uint8_t, 128> big{};
+  big.fill(9);
+  int got = 0;
+  int* out = &got;
+  Fn a([out, big] { *out = big[0]; });
+  const auto before = spills();
+  Fn b(std::move(a));  // moving a spilled closure only moves the pointer
+  EXPECT_EQ(spills(), before);
+  b();
+  EXPECT_EQ(got, 9);
+}
+
+TEST(InlineFunction, MoveOnlyCapturesWork) {
+  // std::function required copyable callables; the engine never copies, so
+  // InlineFunction must accept move-only captured state.
+  auto owned = std::make_unique<int>(42);
+  int got = 0;
+  int* out = &got;
+  Fn fn([out, owned = std::move(owned)] { *out = *owned; });
+  Fn moved(std::move(fn));
+  moved();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(InlineFunction, DestroysCapturedStateExactlyOnce) {
+  struct Probe {
+    int* dtors;
+    explicit Probe(int* d) : dtors(d) {}
+    Probe(Probe&& other) noexcept : dtors(std::exchange(other.dtors, nullptr)) {}
+    ~Probe() {
+      if (dtors != nullptr) ++*dtors;
+    }
+  };
+  int dtors = 0;
+  {
+    Fn fn([probe = Probe(&dtors)] { (void)probe; });
+    Fn moved(std::move(fn));
+    EXPECT_EQ(dtors, 0);  // moved-from shells must not double-destroy
+  }
+  EXPECT_EQ(dtors, 1);
+}
+
+TEST(InlineFunction, EmptyByDefaultAndAfterReset) {
+  Fn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn = Fn([] {});
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_THROW(fn(), ContractError);
+}
+
+TEST(InlineFunction, ReturnsValuesAndTakesArguments) {
+  InlineFunction<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+}  // namespace
+}  // namespace ctesim::util

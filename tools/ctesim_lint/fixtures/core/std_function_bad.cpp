@@ -1,0 +1,17 @@
+// Fixture for the core-std-function rule. It lives under a core/ directory
+// so the path-scoped check fires; the same spelling in a fixture outside
+// core/ (see ../known_bad.cpp, which never mentions it) must stay clean.
+// Never compiled.
+namespace fixture {
+
+class BadEngine {
+ public:
+  // A std::function callback in core code: copyable, 16-byte SBO, heap
+  // allocation per spilled closure — exactly what the refactor removed.
+  void schedule(std::function<void()> fn);  // LINT-EXPECT: core-std-function
+
+ private:
+  int pending_ = 0;
+};
+
+}  // namespace fixture

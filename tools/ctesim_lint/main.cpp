@@ -43,6 +43,15 @@
 //                        defines its own CTESIM_CAPABILITY wrapper is
 //                        exempt — the raw mutex inside a wrapper is the
 //                        implementation.
+//   core-std-function    std::function spelled in src/core. The engine hot
+//                        path schedules every event's callback; std::function
+//                        is copyable (so callbacks must be), its SBO is
+//                        implementation-defined (libstdc++: 16 bytes) and a
+//                        spill heap-allocates per event. Core code must use
+//                        util::InlineFunction (48-byte SBO, move-only) —
+//                        this rule plus the fits_inline static_asserts at
+//                        the core call sites keep the hot path
+//                        allocation-free.
 //   detached-thread      std::thread in a src/ file whose .h/.cpp pair
 //                        never calls join(), or an explicit .detach().
 //                        Detached threads outlive shutdown

@@ -286,6 +286,18 @@ void scan_file(const SourceFile& file, const CorpusState& corpus,
                  "-Wthread-safety can verify the lock discipline"});
       }
 
+      // core-std-function: the engine hot path must use the move-only
+      // inline-storage callback type, never std::function (copyable, 16-byte
+      // implementation-defined SBO, heap allocation per spilled closure).
+      if (file.path.find("/core/") != std::string::npos && t.text == "std" &&
+          is_punct(at(i + 1), "::") && is_ident(at(i + 2), "function")) {
+        findings->push_back(
+            {file.path, t.line, "core-std-function",
+             "std::function in src/core — use util::InlineFunction (48-byte "
+             "SBO, move-only) so hot-path callbacks stay allocation-free; "
+             "see src/util/inline_function.h and docs/ENGINE.md"});
+      }
+
       // detached-thread: std::thread in a file pair that never joins.
       if (!has_join && t.text == "std" && is_punct(at(i + 1), "::") &&
           is_ident(at(i + 2), "thread")) {

@@ -5,7 +5,8 @@
 //
 // Lexical rules (see main.cpp for the per-rule rationale):
 //   unordered-iteration, wall-clock, float-equality, unvalidated-machine,
-//   raw-power-unit, raw-mutex, detached-thread, lock-order.
+//   raw-power-unit, raw-mutex, core-std-function, detached-thread,
+//   lock-order.
 //
 // Architectural rule:
 //   layering — #include edges between src/ subsystems must follow the

@@ -15,6 +15,18 @@ Compares a fresh bench/engine_rate summary against the committed baseline
      run *in the same fresh summary* — both sides ran on the same machine
      seconds apart, so this ratio is far less noisy than the cross-commit
      one. This holds the per-event power bookkeeping at O(1).
+  3. coverage: the fresh summary must contain every hot-path microbench
+     (REQUIRED_RUNS below). A bench binary that silently dropped the queue
+     or dispatch benchmarks would otherwise pass the gate trivially.
+  4. dispatch speedup: BM_ScheduleDispatch (4-ary queue + InlineFunction
+     engine) must stay at least ``--min-dispatch-speedup`` (default 1.8)
+     times faster than BM_ScheduleDispatchLegacy (the in-tree pre-refactor
+     twin: std::priority_queue of std::function events, copy-then-pop) at
+     16 timers — the shallow-queue shape where the old per-event heap
+     traffic dominated. The measured ratio is 2.2-2.3x (docs/ENGINE.md);
+     the floor sits ~20% under that for the same noise headroom the
+     cross-commit gate gets, and anything that reintroduces a per-event
+     allocation or copy lands the ratio near 1.0 — far below either bar.
 
 Usage:
   python3 tools/perf/check_engine_rate.py \
@@ -24,6 +36,23 @@ Usage:
 import argparse
 import json
 import sys
+
+# Hot-path microbenches every fresh summary must carry (gate 3). Names match
+# bench/engine_rate.cpp registrations exactly.
+REQUIRED_RUNS = (
+    "BM_EventQueuePushPop/64",
+    "BM_EventQueuePushPop/1024",
+    "BM_EventQueuePushPop/16384",
+    "BM_EventQueuePushPop/262144",
+    "BM_ScheduleDispatch/16",
+    "BM_ScheduleDispatch/256",
+    "BM_ScheduleDispatchLegacy/16",
+    "BM_ScheduleDispatchLegacy/256",
+    "BM_SpawnResume",
+    "BM_ClusterEngine/150",
+    "BM_ClusterEngine/600",
+    "BM_ClusterEnginePower/600",
+)
 
 
 def load_runs(path):
@@ -57,6 +86,10 @@ def main():
                         help="allowed slowdown of BM_ClusterEnginePower vs "
                              "BM_ClusterEngine in the fresh summary "
                              "(default: 0.10)")
+    parser.add_argument("--min-dispatch-speedup", type=float, default=1.8,
+                        help="required BM_ScheduleDispatch/16 over "
+                             "BM_ScheduleDispatchLegacy/16 ratio in the "
+                             "fresh summary (default: 2.0)")
     args = parser.parse_args()
 
     baseline = load_runs(args.baseline)
@@ -78,6 +111,25 @@ def main():
                 f"(floor x{args.min_ratio:.2f})")
     for name in sorted(set(fresh) - set(baseline)):
         print(f"  {name}: {fresh[name]:.0f} events/s (no baseline yet)")
+
+    missing = [name for name in REQUIRED_RUNS if name not in fresh]
+    if missing:
+        failures.append("fresh summary is missing required runs: " +
+                        ", ".join(missing))
+
+    new = fresh.get("BM_ScheduleDispatch/16")
+    legacy = fresh.get("BM_ScheduleDispatchLegacy/16")
+    if new is not None and legacy is not None:
+        speedup = new / legacy
+        verdict = ("ok" if speedup >= args.min_dispatch_speedup
+                   else "TOO SLOW")
+        print(f"  dispatch speedup vs legacy engine: x{speedup:.2f} "
+              f"({new:.0f} vs {legacy:.0f} events/s) {verdict}")
+        if speedup < args.min_dispatch_speedup:
+            failures.append(
+                f"BM_ScheduleDispatch/16 is only x{speedup:.2f} of the "
+                f"legacy engine (required: "
+                f"x{args.min_dispatch_speedup:.2f})")
 
     plain = fresh.get("BM_ClusterEngine/600")
     powered = fresh.get("BM_ClusterEnginePower/600")
