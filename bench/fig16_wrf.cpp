@@ -6,8 +6,11 @@
 #include "apps/wrf.h"
 #include "arch/configs.h"
 #include "bench_common.h"
+#include "power/attribution.h"
+#include "power/power_model.h"
 #include "report/plot.h"
 #include "report/table.h"
+#include "roofline/exec_model.h"
 
 using namespace ctesim;
 
@@ -83,5 +86,49 @@ int main(int argc, char** argv) {
       "what-if parallel I/O @64 CTE nodes: frame writes %.1f s -> %.1f s "
       "of the %.1f s total (io::FilesystemModel)\n",
       serial64.io_time, parallel64.io_time, serial64.total_time);
+
+  // Where the Joules of the 56 h run go: price each simulated kernel's
+  // roofline breakdown through power::attribute_kernel on 8 CTE-Arm nodes.
+  // The components sum to the job total by construction, so the table's
+  // share column is a true partition of the run's energy.
+  const int en_nodes = 8;
+  const auto pm = power::default_power(cte);
+  const power::DvfsState& nominal = power::dvfs_state(0);
+  const roofline::ExecModel exec(cte.node, arch::default_app_compiler(cte));
+  const int cores = cte.node.core_count();
+  const double points_per_node = static_cast<double>(io_on.grid_x) *
+                                 io_on.grid_y * io_on.levels / en_nodes;
+  const double invocations =
+      static_cast<double>(io_on.steps) * en_nodes;  // per step, per node
+  report::Table energy("energy attribution @ 8 CTE nodes (full 56 h run)",
+                       {"kernel", "core [MJ]", "mem [MJ]", "static [MJ]",
+                        "total [MJ]", "share"});
+  double job_total_j = 0.0;
+  std::vector<std::pair<const char*, power::KernelEnergy>> rows;
+  for (const auto& sig :
+       {apps::wrf_dynamics_kernel(io_on), apps::wrf_physics_kernel(io_on)}) {
+    const auto b = exec.analyze(sig, points_per_node, cores);
+    power::KernelEnergy e = power::attribute_kernel(b, cores, cte.node, pm,
+                                                    nominal);
+    e.core_j = e.core_j * invocations;
+    e.memory_j = e.memory_j * invocations;
+    e.static_j = e.static_j * invocations;
+    e.total_j = e.total_j * invocations;
+    job_total_j += e.total_j.value();
+    rows.emplace_back(sig.name, e);
+  }
+  for (const auto& [name, e] : rows) {
+    energy.row(name,
+               {e.core_j.value() / 1e6, e.memory_j.value() / 1e6,
+                e.static_j.value() / 1e6, e.total_j.value() / 1e6,
+                e.total_j.value() / job_total_j},
+               2);
+  }
+  std::printf("\n");
+  energy.print(std::cout);
+  std::printf(
+      "job total: %.2f MJ across %d nodes — per-kernel Joules sum to the "
+      "job total (tests/test_power.cpp asserts it)\n",
+      job_total_j / 1e6, en_nodes);
   return 0;
 }

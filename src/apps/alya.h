@@ -8,6 +8,8 @@
 #pragma once
 
 #include "arch/machine.h"
+#include "sampling/executor.h"
+#include "sampling/plan.h"
 
 namespace ctesim::trace {
 class Recorder;
@@ -33,8 +35,9 @@ struct AlyaConfig {
   double decomposed_bytes = 132e6 * 2670.0;
   double replicated_bytes_per_rank = 50e6;
   // --- simulation controls ---
-  int sim_steps = 2;        ///< time steps actually simulated
+  int sim_steps = 2;        ///< exact-mode window (time steps simulated)
   int sim_solver_iters = 40;  ///< CG iterations simulated per step
+  sampling::SamplingPlan sampling;
   /// Record per-rank compute/communication spans into this observability
   /// recorder (see src/trace/); nullptr disables tracing.
   trace::Recorder* recorder = nullptr;
@@ -46,6 +49,7 @@ struct AlyaResult {
   double time_per_step = 0.0;      ///< average time step (Fig. 8)
   double assembly_per_step = 0.0;  ///< slowest process (Fig. 9)
   double solver_per_step = 0.0;    ///< slowest process (Fig. 10)
+  sampling::Outcome sampling;      ///< estimate detail (CI, phases, speedup)
 };
 
 /// Minimum node count at which TestCaseB fits (12 on CTE-Arm).

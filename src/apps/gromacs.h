@@ -10,6 +10,12 @@
 #pragma once
 
 #include "arch/machine.h"
+#include "sampling/executor.h"
+#include "sampling/plan.h"
+
+namespace ctesim::trace {
+class Recorder;
+}
 
 namespace ctesim::apps {
 
@@ -33,7 +39,10 @@ struct GromacsConfig {
   double imbalance_16_ranks = 1.55;
   double mpi_overhead_per_message = 20.0e-6;
   // --- simulation controls ---
-  int sim_steps = 10;
+  int sim_steps = 10;  ///< exact-mode window (one full nstlist cycle)
+  sampling::SamplingPlan sampling;
+  /// Record per-rank spans + sampling counters; nullptr disables tracing.
+  trace::Recorder* recorder = nullptr;
 };
 
 struct GromacsResult {
@@ -42,6 +51,7 @@ struct GromacsResult {
   int nodes = 0;
   double time_per_step = 0.0;
   double days_per_ns = 0.0;  ///< the paper's y-axis
+  sampling::Outcome sampling;  ///< estimate detail (CI, phases, speedup)
 };
 
 /// Run with `nranks` MPI ranks x config.threads_per_rank threads.

@@ -1,8 +1,10 @@
 #include "apps/nemo.h"
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
+#include "apps/sampled_run.h"
 #include "simmpi/world.h"
 #include "util/check.h"
 
@@ -42,17 +44,8 @@ NemoResult run_nemo(const arch::MachineModel& machine, int nodes,
   result.fits_memory = nodes >= nemo_min_nodes(machine, config);
   if (!result.fits_memory) return result;
 
-  mpi::WorldOptions options;
-  options.machine = machine;
-  options.compute_jitter = 0.02;
-  options.seed = 2000 + static_cast<std::uint64_t>(nodes);
-  options.recorder = config.recorder;
   // MPI-only full population: one rank per core, as the paper runs NEMO.
-  mpi::World world(std::move(options),
-                   mpi::Placement::per_core(machine.node, nodes *
-                                            machine.node.core_count()));
-
-  const int nranks = world.num_ranks();
+  const int nranks = nodes * machine.node.core_count();
   int px = 1;
   int py = 1;
   choose_grid2d(nranks, &px, &py);
@@ -71,38 +64,86 @@ NemoResult run_nemo(const arch::MachineModel& machine, int nodes,
       .vec_potential = 0.95,
       .overlap = 0.8};
 
-  world.run([&, halo_bytes, px, py](mpi::Rank& rank) -> sim::Task<> {
-    // 2D Cartesian neighbors (non-periodic, like the closed ORCA domains).
-    const int cx = rank.id() % px;
-    const int cy = rank.id() / px;
-    std::vector<int> neighbors;
-    if (cx > 0) neighbors.push_back(rank.id() - 1);
-    if (cx + 1 < px) neighbors.push_back(rank.id() + 1);
-    if (cy > 0) neighbors.push_back(rank.id() - px);
-    if (cy + 1 < py) neighbors.push_back(rank.id() + px);
+  const auto is_diag_step = [&config](long long s) {
+    return config.diag_interval > 0 &&
+           s % config.diag_interval == config.diag_interval - 1;
+  };
 
-    for (int step = 0; step < config.sim_steps; ++step) {
-      const double t0 = rank.now_s();
-      // Field-group sweeps, each ending in a halo exchange: this interleaving
-      // is what makes the tiny-tile regime latency-bound (the paper's
-      // flattening beyond ~128 CTE-Arm nodes).
-      for (int k = 0; k < config.kernels_per_step; ++k) {
-        co_await rank.compute(dynamics_sig,
-                              points_local / config.kernels_per_step);
-        co_await rank.compute_seconds(config.mpi_overhead_per_message * 2.0 *
-                                      static_cast<double>(neighbors.size()));
-        co_await rank.exchange(neighbors, halo_bytes, /*tag=*/1);
-      }
-      for (int r = 0; r < config.reductions_per_step; ++r) {
-        co_await rank.allreduce(8);
-      }
-      rank.phase_add("step", rank.now_s() - t0);
-    }
-    co_return;
-  });
+  sampling::StepProfile profile;
+  profile.total_steps = config.steps;
+  profile.exact_window = config.sim_steps;
+  profile.signature = [&, is_diag_step](long long s) {
+    sampling::StepSignature sig;
+    sig.flops = points_local * config.flops_per_point;
+    sig.bytes = points_local * config.bytes_per_point;
+    sig.messages = 4.0 * config.kernels_per_step;
+    sig.collectives = config.reductions_per_step;
+    if (is_diag_step(s)) sig.collectives += config.diag_reductions;
+    return sig;
+  };
 
-  result.time_per_step = world.phase_max("step") / config.sim_steps;
-  result.total_time = result.time_per_step * config.steps;
+  const auto runner = [&](const std::vector<long long>& steps,
+                          bool want_per_step) {
+    mpi::WorldOptions options;
+    options.machine = machine;
+    options.compute_jitter = 0.02;
+    options.seed = sampling::world_seed(
+        2000 + static_cast<std::uint64_t>(nodes), config.sampling);
+    options.recorder = config.recorder;
+    mpi::World world(std::move(options),
+                     mpi::Placement::per_core(machine.node, nranks));
+
+    const double makespan =
+        world.run([&, halo_bytes, px, py](mpi::Rank& rank) -> sim::Task<> {
+          // 2D Cartesian neighbors (non-periodic, like the closed ORCA
+          // domains).
+          const int cx = rank.id() % px;
+          const int cy = rank.id() / px;
+          std::vector<int> neighbors;
+          if (cx > 0) neighbors.push_back(rank.id() - 1);
+          if (cx + 1 < px) neighbors.push_back(rank.id() + 1);
+          if (cy > 0) neighbors.push_back(rank.id() - px);
+          if (cy + 1 < py) neighbors.push_back(rank.id() + px);
+
+          for (std::size_t i = 0; i < steps.size(); ++i) {
+            if (want_per_step && i > 0 && steps[i] != steps[i - 1] + 1) {
+              // Region start: align the ranks so skew left behind by an
+              // unrelated sampled region does not bleed into this one.
+              co_await rank.barrier();
+            }
+            const double t0 = rank.now_s();
+            // Field-group sweeps, each ending in a halo exchange: this
+            // interleaving is what makes the tiny-tile regime latency-bound
+            // (the paper's flattening beyond ~128 CTE-Arm nodes).
+            for (int k = 0; k < config.kernels_per_step; ++k) {
+              co_await rank.compute(dynamics_sig,
+                                    points_local / config.kernels_per_step);
+              co_await rank.compute_seconds(
+                  config.mpi_overhead_per_message * 2.0 *
+                  static_cast<double>(neighbors.size()));
+              co_await rank.exchange(neighbors, halo_bytes, /*tag=*/1);
+            }
+            int reductions = config.reductions_per_step;
+            if (is_diag_step(steps[i])) reductions += config.diag_reductions;
+            for (int r = 0; r < reductions; ++r) {
+              co_await rank.allreduce(8);
+            }
+            const double dt = rank.now_s() - t0;
+            rank.phase_add("step", dt);
+            if (want_per_step) {
+              rank.phase_add(sampling::step_key("step", i), dt);
+            }
+          }
+          co_return;
+        });
+    return harvest_channels(world, profile.channels, steps.size(),
+                            want_per_step, makespan);
+  };
+
+  result.sampling =
+      sampling::run_plan(profile, config.sampling, runner, config.recorder);
+  result.time_per_step = result.sampling.channel("step").mean_step_s;
+  result.total_time = result.sampling.total_s;
   return result;
 }
 

@@ -7,6 +7,8 @@
 #pragma once
 
 #include "arch/machine.h"
+#include "sampling/executor.h"
+#include "sampling/plan.h"
 
 namespace ctesim::trace {
 class Recorder;
@@ -35,8 +37,16 @@ struct NemoConfig {
   // (sets the 8-node minimum on CTE-Arm with 48 ranks/node).
   double decomposed_bytes = 45e9;
   double replicated_bytes_per_rank = 0.548e9;
+  /// Diagnostic-output cadence: every `diag_interval`-th step performs
+  /// `diag_reductions` extra global reductions (tracer budgets, solver
+  /// monitors). 0 disables — the legacy uniform-step behaviour — so the
+  /// default figures stay byte-stable; enabling it gives the run a second
+  /// phase the sampling subsystem can detect.
+  int diag_interval = 0;
+  int diag_reductions = 8;
   // --- simulation controls ---
-  int sim_steps = 2;
+  int sim_steps = 2;  ///< exact-mode window (steps simulated and scaled up)
+  sampling::SamplingPlan sampling;
   /// Record per-rank compute/communication spans into this observability
   /// recorder (see src/trace/); nullptr disables tracing.
   trace::Recorder* recorder = nullptr;
@@ -47,6 +57,7 @@ struct NemoResult {
   bool fits_memory = false;
   double total_time = 0.0;  ///< full BENCH run (Fig. 11 y-axis)
   double time_per_step = 0.0;
+  sampling::Outcome sampling;  ///< estimate detail (CI, phases, speedup)
 };
 
 int nemo_min_nodes(const arch::MachineModel& machine,

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "apps/sampled_run.h"
 #include "simmpi/world.h"
 #include "util/check.h"
 
@@ -48,19 +51,12 @@ OpenIfsResult run(const arch::MachineModel& machine, int nodes, int actors,
   result.fits_memory = nodes >= openifs_min_nodes(machine, config);
   if (!result.fits_memory) return result;
 
-  mpi::WorldOptions options;
-  options.machine = machine;
-  options.compute_jitter = 0.015;
-  options.seed = 4000 + static_cast<std::uint64_t>(actors);
   const int actors_per_node = (actors + nodes - 1) / nodes;
   // Each actor owns one core per real MPI rank it aggregates; in the
   // single-node study (actors == real ranks) that is one core each, and
   // unused cores stay idle exactly as in the paper's partial-population
   // runs.
   const int threads = std::max(1, real_ranks / actors);
-  mpi::World world(std::move(options),
-                   mpi::Placement::hybrid(machine.node, actors,
-                                          actors_per_node, threads));
 
   const OpenIfsInput& input = config.input;
   const double cells_local = input.columns * input.levels / actors;
@@ -91,25 +87,80 @@ OpenIfsResult run(const arch::MachineModel& machine, int nodes, int actors,
       .vec_potential = 0.85,
       .overlap = 0.6};
 
-  world.run([&, alltoall_bytes_per_pair](mpi::Rank& rank) -> sim::Task<> {
-    for (int step = 0; step < config.sim_steps; ++step) {
-      const double t0 = rank.now_s();
-      // Grid-point space: physics parameterizations, column by column.
-      co_await rank.compute(physics_sig, cells_local);
-      // Spectral space: FFT + Legendre transforms.
-      co_await rank.compute(spectral_sig, cells_local);
-      // Transpositions between the spaces.
-      for (int t = 0; t < config.transpositions_per_step; ++t) {
-        co_await rank.compute_seconds(alltoall_overhead);
-        co_await rank.alltoall(alltoall_bytes_per_pair);
-      }
-      co_await rank.allreduce(8);  // spectral norms / CFL diagnostics
-      rank.phase_add("step", rank.now_s() - t0);
-    }
-    co_return;
-  });
+  const auto is_radiation_step = [&config](long long s) {
+    return config.radiation_interval > 0 &&
+           s % config.radiation_interval == 0;
+  };
 
-  const double step_time = world.phase_max("step") / config.sim_steps;
+  sampling::StepProfile profile;
+  profile.total_steps = input.steps_per_day;
+  profile.exact_window = config.sim_steps;
+  profile.signature = [&, is_radiation_step](long long s) {
+    sampling::StepSignature sig;
+    sig.flops =
+        cells_local * (config.physics_flops + config.spectral_flops);
+    sig.bytes =
+        cells_local * (config.physics_bytes + config.spectral_bytes);
+    sig.messages = static_cast<double>(config.transpositions_per_step) *
+                   static_cast<double>(real_ranks - 1);
+    sig.collectives = config.transpositions_per_step + 1.0;
+    if (is_radiation_step(s)) {
+      sig.flops +=
+          cells_local * config.physics_flops * config.radiation_physics_scale;
+    }
+    return sig;
+  };
+
+  const auto runner = [&](const std::vector<long long>& steps,
+                          bool want_per_step) {
+    mpi::WorldOptions options;
+    options.machine = machine;
+    options.compute_jitter = 0.015;
+    options.seed = sampling::world_seed(
+        4000 + static_cast<std::uint64_t>(actors), config.sampling);
+    options.recorder = config.recorder;
+    mpi::World world(std::move(options),
+                     mpi::Placement::hybrid(machine.node, actors,
+                                            actors_per_node, threads));
+
+    const double makespan = world.run(
+        [&, alltoall_bytes_per_pair](mpi::Rank& rank) -> sim::Task<> {
+          for (std::size_t i = 0; i < steps.size(); ++i) {
+            if (want_per_step && i > 0 && steps[i] != steps[i - 1] + 1) {
+              // Region start: align the ranks so skew left behind by an
+              // unrelated sampled region does not bleed into this one.
+              co_await rank.barrier();
+            }
+            const double t0 = rank.now_s();
+            // Grid-point space: physics parameterizations, column by column.
+            co_await rank.compute(physics_sig, cells_local);
+            if (is_radiation_step(steps[i])) {
+              co_await rank.compute(
+                  physics_sig, cells_local * config.radiation_physics_scale);
+            }
+            // Spectral space: FFT + Legendre transforms.
+            co_await rank.compute(spectral_sig, cells_local);
+            // Transpositions between the spaces.
+            for (int t = 0; t < config.transpositions_per_step; ++t) {
+              co_await rank.compute_seconds(alltoall_overhead);
+              co_await rank.alltoall(alltoall_bytes_per_pair);
+            }
+            co_await rank.allreduce(8);  // spectral norms / CFL diagnostics
+            const double dt = rank.now_s() - t0;
+            rank.phase_add("step", dt);
+            if (want_per_step) {
+              rank.phase_add(sampling::step_key("step", i), dt);
+            }
+          }
+          co_return;
+        });
+    return harvest_channels(world, profile.channels, steps.size(),
+                            want_per_step, makespan);
+  };
+
+  result.sampling =
+      sampling::run_plan(profile, config.sampling, runner, config.recorder);
+  const double step_time = result.sampling.channel("step").mean_step_s;
   result.seconds_per_day = step_time * input.steps_per_day;
   return result;
 }

@@ -8,6 +8,12 @@
 #pragma once
 
 #include "arch/machine.h"
+#include "sampling/executor.h"
+#include "sampling/plan.h"
+
+namespace ctesim::trace {
+class Recorder;
+}
 
 namespace ctesim::apps {
 
@@ -39,8 +45,18 @@ struct OpenIfsConfig {
   /// Section VI item iii). Makes the multi-node gap wider than the
   /// single-node one at moderate scale, as in Figs. 14/15.
   double cte_transposition_setup = 4.0e-3;
+  /// Full-radiation cadence: every `radiation_interval`-th step runs the
+  /// radiation scheme (extra physics work, `radiation_physics_scale` times
+  /// the regular column cost), as IFS does every few steps. 0 disables —
+  /// the legacy uniform-step behaviour — keeping the default figures
+  /// byte-stable; enabling it gives sampling a second phase to detect.
+  int radiation_interval = 0;
+  double radiation_physics_scale = 2.0;
   // --- simulation controls ---
-  int sim_steps = 4;
+  int sim_steps = 4;  ///< exact-mode window (steps simulated and scaled up)
+  sampling::SamplingPlan sampling;
+  /// Record per-rank spans + sampling counters; nullptr disables tracing.
+  trace::Recorder* recorder = nullptr;
 };
 
 struct OpenIfsResult {
@@ -48,6 +64,7 @@ struct OpenIfsResult {
   int ranks = 0;
   bool fits_memory = false;
   double seconds_per_day = 0.0;  ///< the paper's y-axis
+  sampling::Outcome sampling;    ///< estimate detail (CI, phases, speedup)
 };
 
 int openifs_min_nodes(const arch::MachineModel& machine,

@@ -1,0 +1,42 @@
+// Shared glue between the app proxies and the sampling executor: every
+// proxy's StepRunner builds a fresh World, replays its rank loop over the
+// requested step indices, and hands the measured channels back through
+// harvest_channels(). Keeping the harvest in one place means the
+// "<channel>#<position>" per-step key convention (sampling::step_key) has
+// exactly two clients: the rank loops that record it and this reader.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sampling/executor.h"
+#include "simmpi/world.h"
+
+namespace ctesim::apps {
+
+/// Collect a StepRunResult from a finished world: the legacy accumulated
+/// phase_max per channel, plus — when the executor asked for per-step
+/// resolution — every rank's seconds at every requested step, read from
+/// the step_key() phases the rank loop recorded.
+inline sampling::StepRunResult harvest_channels(
+    const mpi::World& world,
+    const std::vector<sampling::ChannelSpec>& channels,
+    std::size_t num_steps, bool want_per_step, double makespan_s) {
+  sampling::StepRunResult res;
+  res.makespan_s = makespan_s;
+  res.accum.reserve(channels.size());
+  for (const sampling::ChannelSpec& ch : channels) {
+    res.accum.push_back(world.phase_max(ch.name));
+    if (want_per_step) {
+      std::vector<std::vector<double>> per;
+      per.reserve(num_steps);
+      for (std::size_t i = 0; i < num_steps; ++i) {
+        per.push_back(world.phase_times(sampling::step_key(ch.name, i)));
+      }
+      res.per_rank_step.push_back(std::move(per));
+    }
+  }
+  return res;
+}
+
+}  // namespace ctesim::apps

@@ -8,6 +8,13 @@
 #pragma once
 
 #include "arch/machine.h"
+#include "roofline/kernel.h"
+#include "sampling/executor.h"
+#include "sampling/plan.h"
+
+namespace ctesim::trace {
+class Recorder;
+}
 
 namespace ctesim::apps {
 
@@ -34,8 +41,16 @@ struct WrfConfig {
   // striped write (the obvious optimization the model lets you test).
   double frame_bytes_per_point = 13.0;  ///< ~3D + surface fields, packed
   bool parallel_io = false;
+  /// Charge each frame write inside the step that produces it instead of
+  /// the analytic end-of-run estimate. Gives the run an I/O-frame phase the
+  /// sampling subsystem can detect (frame steps get a distinct
+  /// StepSignature); off by default to keep the legacy figures byte-stable.
+  bool io_in_step = false;
   // --- simulation controls ---
-  int sim_steps = 2;
+  int sim_steps = 2;  ///< exact-mode window (steps simulated and scaled up)
+  sampling::SamplingPlan sampling;
+  /// Record per-rank spans + sampling counters; nullptr disables tracing.
+  trace::Recorder* recorder = nullptr;
 };
 
 struct WrfResult {
@@ -43,9 +58,16 @@ struct WrfResult {
   double total_time = 0.0;     ///< elapsed for the 56 h run (Fig. 16)
   double time_per_step = 0.0;
   double io_time = 0.0;        ///< share of total spent writing frames
+  sampling::Outcome sampling;  ///< estimate detail (CI, phases, speedup)
 };
 
 WrfResult run_wrf(const arch::MachineModel& machine, int nodes,
                   const WrfConfig& config = {});
+
+/// The two per-step kernels of the WRF proxy as roofline signatures —
+/// the same ones run_wrf() simulates, exposed so energy-attribution
+/// studies (power::attribute_kernel) price exactly the simulated work.
+roofline::KernelSig wrf_dynamics_kernel(const WrfConfig& config = {});
+roofline::KernelSig wrf_physics_kernel(const WrfConfig& config = {});
 
 }  // namespace ctesim::apps

@@ -1,10 +1,12 @@
 #include "batch/runtime.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "arch/configs.h"
 #include "simmpi/placement.h"
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace ctesim::batch {
 
@@ -76,6 +78,47 @@ double RuntimeModel::slowdown(const Job& job, double hops) const {
 double RuntimeModel::runtime(const Job& job, double hops,
                              double freq_scale) const {
   return base_runtime(job, freq_scale) * slowdown(job, hops);
+}
+
+sampling::Outcome RuntimeModel::sampled_runtime(
+    const Job& job, double hops, const sampling::SamplingPlan& plan,
+    double freq_scale) const {
+  const long long iters =
+      job.fixed_runtime_s > 0.0
+          ? 1
+          : static_cast<long long>(job.profile.iterations);
+  const double t_step = runtime(job, hops, freq_scale) /
+                        static_cast<double>(iters);
+  // Random-access jitter stream: step s of job j costs the same whether it
+  // is reached in a full run or jumped to by a sampled plan.
+  const std::uint64_t stream = hash_combine(
+      hash_combine(kFnvOffsetBasis, 0x6a6f6273ULL),
+      static_cast<std::uint64_t>(job.id));
+  const auto step_cost = [&](long long s) {
+    const std::uint64_t h =
+        hash_combine(stream, static_cast<std::uint64_t>(s));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return t_step * (1.0 + kStepJitter * (2.0 * u - 1.0));
+  };
+
+  sampling::StepProfile profile;
+  profile.total_steps = iters;
+  profile.exact_window = iters;  // exact plans replay every iteration
+
+  const auto runner = [&](const std::vector<long long>& steps,
+                          bool want_per_step) {
+    sampling::StepRunResult res;
+    res.accum.assign(1, 0.0);
+    if (want_per_step) res.per_rank_step.assign(1, {});
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      const double dt = step_cost(steps[i]);
+      res.accum[0] += dt;
+      if (want_per_step) res.per_rank_step[0].push_back({dt});
+      res.makespan_s += dt;
+    }
+    return res;
+  };
+  return sampling::run_plan(profile, plan, runner);
 }
 
 double RuntimeModel::reference_hops(int nodes) const {

@@ -15,6 +15,8 @@
 #include "batch/job.h"
 #include "net/topology.h"
 #include "roofline/exec_model.h"
+#include "sampling/executor.h"
+#include "sampling/plan.h"
 #include "sched/allocator.h"
 
 namespace ctesim::batch {
@@ -36,6 +38,23 @@ class RuntimeModel {
   /// Runtime on the specific allocation `nodes`; `hops` is the allocation's
   /// mean pairwise hop distance (sched::Allocator::mean_pairwise_hops).
   double runtime(const Job& job, double hops, double freq_scale = 1.0) const;
+
+  /// Per-iteration OS-noise amplitude of the sampled_runtime() step model
+  /// (uniform in [-kStepJitter, +kStepJitter], the same order as the
+  /// simmpi worlds' compute_jitter).
+  static constexpr double kStepJitter = 0.015;
+
+  /// Runtime estimated through the sampling executor. The job's
+  /// iterations become the step axis: each iteration costs
+  /// runtime(job, hops, freq)/iterations stretched by deterministic
+  /// per-step jitter (seeded from plan.seed and job.id, random-access so
+  /// any subset of steps reproduces the full run's values). Exact plans
+  /// simulate every iteration — the ground truth the CI of a sampled plan
+  /// is measured against; sampled plans simulate K representatives plus
+  /// warmup and report the CI. Fixed-runtime jobs collapse to one step.
+  sampling::Outcome sampled_runtime(const Job& job, double hops,
+                                    const sampling::SamplingPlan& plan,
+                                    double freq_scale = 1.0) const;
 
   /// Memory traffic one node of this job moves over its whole runtime
   /// (elements x bytes/elem x iterations) — what the power layer prices at

@@ -1,0 +1,216 @@
+#include "sampling/phases.h"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <map>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace ctesim::sampling {
+
+namespace {
+
+constexpr std::size_t kNumFeatures = 7;
+constexpr int kMaxKmeansIters = 32;
+
+std::array<double, kNumFeatures> features(const StepSignature& s) {
+  return {s.flops,    s.bytes,      s.messages, s.collectives,
+          s.io_bytes, s.freq_scale, s.tag};
+}
+
+struct SigLess {
+  bool operator()(const StepSignature& a, const StepSignature& b) const {
+    return signature_less(a, b);
+  }
+};
+
+double sq_dist(const std::array<double, kNumFeatures>& a,
+               const std::array<double, kNumFeatures>& b) {
+  double d2 = 0.0;
+  for (std::size_t f = 0; f < kNumFeatures; ++f) {
+    const double d = a[f] - b[f];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+/// Weighted k-means over the distinct signatures (weight = step count),
+/// merging them down to `k` clusters. Returns the cluster index of each
+/// input group. Deterministic: seeded k-means++ init, fixed iteration cap,
+/// ties resolved toward the lowest index.
+std::vector<std::size_t> kmeans_assign(const std::vector<Phase>& groups,
+                                       std::size_t k, std::uint64_t seed) {
+  const std::size_t n = groups.size();
+  // Min-max normalize each feature across groups so byte-scale dimensions
+  // do not drown message counts.
+  std::vector<std::array<double, kNumFeatures>> pts(n);
+  std::array<double, kNumFeatures> lo{};
+  std::array<double, kNumFeatures> hi{};
+  for (std::size_t i = 0; i < n; ++i) pts[i] = features(groups[i].centroid);
+  for (std::size_t f = 0; f < kNumFeatures; ++f) {
+    lo[f] = hi[f] = pts[0][f];
+    for (std::size_t i = 1; i < n; ++i) {
+      lo[f] = std::min(lo[f], pts[i][f]);
+      hi[f] = std::max(hi[f], pts[i][f]);
+    }
+    const double span = hi[f] - lo[f];
+    for (std::size_t i = 0; i < n; ++i) {
+      pts[i][f] = span > 0.0 ? (pts[i][f] - lo[f]) / span : 0.0;
+    }
+  }
+  std::vector<double> weight(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weight[i] = static_cast<double>(groups[i].members.size());
+  }
+
+  // k-means++ seeding: first centroid drawn by weight, subsequent ones by
+  // weight * squared distance to the nearest chosen centroid.
+  Rng rng(hash_combine(hash_combine(kFnvOffsetBasis, seed), 0x6b6d6561ULL));
+  std::vector<std::array<double, kNumFeatures>> centroids;
+  std::vector<double> d2(n, 0.0);
+  {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += weight[i];
+    double pick = rng.uniform() * total;
+    std::size_t first = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      pick -= weight[i];
+      if (pick <= 0.0) {
+        first = i;
+        break;
+      }
+    }
+    centroids.push_back(pts[first]);
+  }
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = sq_dist(pts[i], centroids[0]);
+      for (std::size_t c = 1; c < centroids.size(); ++c) {
+        d2[i] = std::min(d2[i], sq_dist(pts[i], centroids[c]));
+      }
+      total += weight[i] * d2[i];
+    }
+    if (total <= 0.0) break;  // fewer distinct points than clusters
+    double pick = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      pick -= weight[i] * d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(pts[chosen]);
+  }
+
+  // Lloyd iterations with weighted centroid updates.
+  std::vector<std::size_t> assign(n, 0);
+  for (int iter = 0; iter < kMaxKmeansIters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_d2 = sq_dist(pts[i], centroids[0]);
+      for (std::size_t c = 1; c < centroids.size(); ++c) {
+        const double d = sq_dist(pts[i], centroids[c]);
+        if (d < best_d2) {
+          best_d2 = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      std::array<double, kNumFeatures> sum{};
+      double mass = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (assign[i] != c) continue;
+        for (std::size_t f = 0; f < kNumFeatures; ++f) {
+          sum[f] += weight[i] * pts[i][f];
+        }
+        mass += weight[i];
+      }
+      if (mass > 0.0) {
+        for (std::size_t f = 0; f < kNumFeatures; ++f) {
+          centroids[c][f] = sum[f] / mass;
+        }
+      }
+    }
+  }
+  return assign;
+}
+
+}  // namespace
+
+std::vector<Phase> detect_phases(const StepProfile& profile, int max_phases,
+                                 std::uint64_t seed) {
+  CTESIM_EXPECTS(profile.total_steps >= 1);
+  CTESIM_EXPECTS(max_phases >= 1);
+
+  if (!profile.signature) {
+    Phase all;
+    all.members.reserve(static_cast<std::size_t>(profile.total_steps));
+    for (long long s = 0; s < profile.total_steps; ++s) {
+      all.members.push_back(s);
+    }
+    return {all};
+  }
+
+  // Stage 1: exact grouping of bit-identical signatures, ordered by first
+  // occurrence (member lists come out ascending by construction).
+  std::vector<Phase> groups;
+  std::map<StepSignature, std::size_t, SigLess> index;
+  for (long long s = 0; s < profile.total_steps; ++s) {
+    const StepSignature sig = profile.signature(s);
+    auto [it, inserted] = index.try_emplace(sig, groups.size());
+    if (inserted) {
+      groups.push_back(Phase{sig, {}});
+    }
+    groups[it->second].members.push_back(s);
+  }
+  if (groups.size() <= static_cast<std::size_t>(max_phases)) return groups;
+
+  // Stage 2: merge distinct signatures down to the budget with seeded
+  // weighted k-means, then rebuild phases from the cluster assignment.
+  const auto assign =
+      kmeans_assign(groups, static_cast<std::size_t>(max_phases), seed);
+  std::vector<Phase> merged(static_cast<std::size_t>(max_phases));
+  std::vector<double> mass(merged.size(), 0.0);
+  std::vector<std::array<double, kNumFeatures>> sums(
+      merged.size(), std::array<double, kNumFeatures>{});
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    Phase& ph = merged[assign[g]];
+    ph.members.insert(ph.members.end(), groups[g].members.begin(),
+                      groups[g].members.end());
+    const double w = static_cast<double>(groups[g].members.size());
+    const auto feat = features(groups[g].centroid);
+    for (std::size_t f = 0; f < kNumFeatures; ++f) {
+      sums[assign[g]][f] += w * feat[f];
+    }
+    mass[assign[g]] += w;
+  }
+  std::vector<Phase> result;
+  for (std::size_t c = 0; c < merged.size(); ++c) {
+    if (merged[c].members.empty()) continue;
+    std::sort(merged[c].members.begin(), merged[c].members.end());
+    const double m = mass[c];
+    merged[c].centroid =
+        StepSignature{sums[c][0] / m, sums[c][1] / m, sums[c][2] / m,
+                      sums[c][3] / m, sums[c][4] / m, sums[c][5] / m,
+                      sums[c][6] / m};
+    result.push_back(std::move(merged[c]));
+  }
+  std::sort(result.begin(), result.end(), [](const Phase& a, const Phase& b) {
+    return a.members.front() < b.members.front();
+  });
+  return result;
+}
+
+}  // namespace ctesim::sampling

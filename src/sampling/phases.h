@@ -1,0 +1,35 @@
+// Deterministic phase detection over step signatures.
+//
+// Segmentation is two-stage. First, steps with bit-identical signatures are
+// grouped exactly (signatures come from closed-form per-step expressions,
+// so equal step kinds compare equal — no tolerance needed). Only when the
+// number of distinct signatures exceeds the plan's `max_phases` does the
+// detector fall back to seeded weighted k-means over the distinct
+// signatures (k-means++ init, min-max feature normalization, deterministic
+// tie-breaks), merging near-identical step kinds until the budget fits.
+// Either way the result is a pure function of (profile, max_phases, seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/signature.h"
+
+namespace ctesim::sampling {
+
+/// One detected phase: a set of step indices that behave alike.
+struct Phase {
+  /// Representative signature (the common signature for exact groups, the
+  /// weighted mean for k-means-merged ones).
+  StepSignature centroid;
+  /// Step indices belonging to the phase, ascending. Never empty.
+  std::vector<long long> members;
+};
+
+/// Segment `profile`'s steps into at most `max_phases` phases. Phases are
+/// ordered by their earliest member step. A profile without a signature
+/// function yields a single phase covering every step.
+std::vector<Phase> detect_phases(const StepProfile& profile, int max_phases,
+                                 std::uint64_t seed);
+
+}  // namespace ctesim::sampling

@@ -1,0 +1,52 @@
+// SamplingPlan — how much of a workload to actually simulate.
+//
+// Exact mode reproduces the pre-sampling behaviour bit-for-bit: simulate
+// the profile's leading `exact_window` steps and extrapolate linearly (the
+// old `sim_steps` multiply, now in exactly one place). Sampled mode runs
+// phase detection over the step signatures and simulates only K
+// representatives per phase (plus warmup), reporting a stratified estimate
+// with a 95% confidence interval. See docs/SAMPLING.md.
+#pragma once
+
+#include <cstdint>
+
+#include "util/hash.h"
+
+namespace ctesim::sampling {
+
+enum class Mode : std::uint8_t {
+  kExact = 0,  ///< legacy window-and-multiply; deterministic, no CI
+  kSampled,    ///< K representatives per detected phase, CI-bounded
+};
+
+/// Stable protocol/CSV spelling ("exact" / "sampled").
+const char* name_of(Mode mode);
+
+struct SamplingPlan {
+  Mode mode = Mode::kExact;
+  /// Representatives simulated per phase (sampled mode). Clamped to the
+  /// phase population; >= 2 needed for a nonzero CI.
+  int k = 8;
+  /// Contiguous predecessor steps simulated (and discarded) before each
+  /// representative to rebuild steady-state pipeline skew — the analogue
+  /// of SimPoint-style per-region warmup. Costs simulation time only.
+  int warmup = 1;
+  /// Upper bound on detected phases; more distinct signatures than this
+  /// are merged by seeded k-means (see phases.h).
+  int max_phases = 8;
+  /// Perturbs which representatives are drawn AND the simulated world's
+  /// jitter stream, so independent plan seeds give independent samples.
+  /// Ignored in exact mode (the world keeps its legacy seed: byte-identity).
+  std::uint64_t seed = 1;
+};
+
+/// The seed the simulated World should run under. Exact mode must return
+/// `base` unchanged — the golden figures depend on the legacy jitter
+/// stream. Sampled mode folds in the plan seed so that different plans
+/// observe independent jitter realisations.
+inline std::uint64_t world_seed(std::uint64_t base, const SamplingPlan& plan) {
+  if (plan.mode == Mode::kExact) return base;
+  return hash_combine(hash_combine(kFnvOffsetBasis, base), plan.seed);
+}
+
+}  // namespace ctesim::sampling

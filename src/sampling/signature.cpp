@@ -1,0 +1,19 @@
+#include "sampling/signature.h"
+
+namespace ctesim::sampling {
+
+bool signature_less(const StepSignature& a, const StepSignature& b) {
+  if (a.flops != b.flops) return a.flops < b.flops;
+  if (a.bytes != b.bytes) return a.bytes < b.bytes;
+  if (a.messages != b.messages) return a.messages < b.messages;
+  if (a.collectives != b.collectives) return a.collectives < b.collectives;
+  if (a.io_bytes != b.io_bytes) return a.io_bytes < b.io_bytes;
+  if (a.freq_scale != b.freq_scale) return a.freq_scale < b.freq_scale;
+  return a.tag < b.tag;
+}
+
+bool signature_equal(const StepSignature& a, const StepSignature& b) {
+  return !signature_less(a, b) && !signature_less(b, a);
+}
+
+}  // namespace ctesim::sampling

@@ -1,0 +1,78 @@
+// Per-timestep workload signatures — the feature vectors representative-
+// region sampling clusters into phases (ROADMAP item 5, docs/SAMPLING.md).
+//
+// An app proxy describes its FULL workload (all `total_steps` timesteps of
+// the paper-scale run, not the handful it used to simulate) as a cheap
+// analytic function from step index to a StepSignature: how many flops,
+// bytes, messages, collectives and I/O bytes that step moves per node. The
+// signatures are piecewise-constant by construction (a WRF step either
+// writes an output frame or it does not; a GROMACS step either rebuilds
+// the neighbour list or it does not), which is exactly what makes phase
+// detection well-posed: repeating step kinds collapse to a few distinct
+// points in feature space.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ctesim::sampling {
+
+/// Analytic per-step cost features, per node. Magnitudes only — the
+/// detector normalizes each dimension before clustering, so units just
+/// have to be consistent across the steps of one profile.
+struct StepSignature {
+  double flops = 0.0;        ///< floating-point work
+  double bytes = 0.0;        ///< memory traffic
+  double messages = 0.0;     ///< point-to-point messages sent
+  double collectives = 0.0;  ///< collective operations joined
+  double io_bytes = 0.0;     ///< filesystem bytes written/read
+  /// DVFS/energy term: relative clock scale the step runs at (per-kernel
+  /// DVFS selection; 1 = nominal). Steps pinned to different operating
+  /// points are different phases even when their work is identical.
+  double freq_scale = 1.0;
+  /// App-declared phase marker for cost effects the work features cannot
+  /// express — e.g. the steps right after WRF's serial frame write, whose
+  /// measured time includes the ranks re-absorbing rank 0's skew. Mixing
+  /// those into the common stratum would multiply the perturbation out by
+  /// the stratum weight; a distinct tag gives them their own stratum with
+  /// their true weight. 0 for ordinary steps.
+  double tag = 0.0;
+};
+
+/// Strict-weak ordering over all seven features — the deterministic key the
+/// detector groups identical signatures by (no hashing, no float fuzz:
+/// signatures come from the same closed-form expressions, so equal step
+/// kinds are bit-equal).
+bool signature_less(const StepSignature& a, const StepSignature& b);
+bool signature_equal(const StepSignature& a, const StepSignature& b);
+
+/// One measured channel of an app's step: apps report slowest-rank seconds
+/// per channel (most have just "step"; Alya reports "assembly" and
+/// "solver"). `scale` is applied to the channel's extrapolated mean — it
+/// carries within-step subsampling (Alya simulates sim_solver_iters of the
+/// real solver_iters CG iterations) into the executor so no app multiplies
+/// times by hand.
+struct ChannelSpec {
+  std::string name = "step";
+  double scale = 1.0;
+};
+
+/// The full-workload description an app hands to the sampling executor —
+/// the hook that replaces the opaque `sim_steps` knob.
+struct StepProfile {
+  /// Timesteps of the full run the result extrapolates to (e.g. 8400 for
+  /// the paper's 56 h WRF case).
+  long long total_steps = 0;
+  /// Exact-mode window: how many leading steps are simulated when the plan
+  /// asks for the deterministic legacy extrapolation (the old sim_steps).
+  int exact_window = 1;
+  /// Signature of step `i` in [0, total_steps). Null means every step is
+  /// identical (a single phase).
+  std::function<StepSignature(long long)> signature;
+  /// Measured channels the runner reports. Must be non-empty.
+  std::vector<ChannelSpec> channels = {{"step", 1.0}};
+};
+
+}  // namespace ctesim::sampling

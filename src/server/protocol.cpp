@@ -81,6 +81,7 @@ Request parse_request(const std::string& line) {
 
   SimulateSpec& spec = request.sim;
   batch::WorkloadConfig& w = spec.workload;
+  bool sampling_knob_given = false;  // any sampling_* sub-knob
   for (const auto& [key, value] : doc.object) {
     if (key == "op") {
       continue;
@@ -147,6 +148,33 @@ Request parse_request(const std::string& line) {
         bad("field 'dvfs_backfill' must be a boolean");
       }
       spec.dvfs_backfill = value.boolean;
+    } else if (key == "sampling") {
+      const std::string name = require_string(value, key);
+      if (name == "exact") {
+        spec.sampling.mode = sampling::Mode::kExact;
+      } else if (name == "sampled") {
+        spec.sampling.mode = sampling::Mode::kSampled;
+      } else {
+        bad("field 'sampling' must be exact or sampled");
+      }
+    } else if (key == "sampling_k") {
+      spec.sampling.k = require_int(value, key, 1, 4096);
+      sampling_knob_given = true;
+    } else if (key == "sampling_warmup") {
+      spec.sampling.warmup =
+          static_cast<long long>(require_int(value, key, 0, 64));
+      sampling_knob_given = true;
+    } else if (key == "sampling_phases") {
+      spec.sampling.max_phases =
+          static_cast<std::size_t>(require_int(value, key, 1, 64));
+      sampling_knob_given = true;
+    } else if (key == "sampling_seed") {
+      const double d = require_number(value, key);
+      if (d != std::floor(d) || d < 0 || d > 9007199254740992.0) {
+        bad("field 'sampling_seed' must be a non-negative integer <= 2^53");
+      }
+      spec.sampling.seed = static_cast<std::uint64_t>(d);
+      sampling_knob_given = true;
     } else {
       bad("unknown field '" + key + "'");
     }
@@ -162,6 +190,9 @@ Request parse_request(const std::string& line) {
   }
   if (!spec.machine_ini.empty() && doc.find("machine")) {
     bad("give either 'machine' or 'machine_ini', not both");
+  }
+  if (sampling_knob_given && spec.sampling.mode != sampling::Mode::kSampled) {
+    bad("sampling_* knobs require \"sampling\":\"sampled\"");
   }
   return request;
 }
@@ -182,6 +213,16 @@ std::string canonical_workload(const SimulateSpec& spec) {
      << ";dvfs_state=" << spec.dvfs_state
      << ";power_cap_w=" << json::number(spec.power_cap_w)
      << ";dvfs_backfill=" << (spec.dvfs_backfill ? 1 : 0);
+  // Appended only for sampled requests: exact keys keep their pre-sampling
+  // spelling (cached replies survive the upgrade), and a sampled request
+  // can never hash onto an exact one's cache slot.
+  if (spec.sampling.mode != sampling::Mode::kExact) {
+    os << ";sampling=" << sampling::name_of(spec.sampling.mode)
+       << ";sampling_k=" << spec.sampling.k
+       << ";sampling_warmup=" << spec.sampling.warmup
+       << ";sampling_phases=" << spec.sampling.max_phases
+       << ";sampling_seed=" << spec.sampling.seed;
+  }
   return os.str();
 }
 
@@ -197,7 +238,8 @@ std::string error_reply(const std::string& code,
 std::string simulate_reply(std::uint64_t config_hash,
                            std::uint64_t workload_hash, std::uint64_t seed,
                            const batch::ClusterMetrics& m,
-                           std::uint64_t engine_events) {
+                           std::uint64_t engine_events,
+                           const SamplingSummary* sampling) {
   std::ostringstream os;
   os << R"({"op":"simulate","status":"ok","config_hash":")"
      << hash_hex(config_hash) << R"(","workload_hash":")"
@@ -228,7 +270,21 @@ std::string simulate_reply(std::uint64_t config_hash,
      << R"(,"peak_power_w":)" << json::number(m.peak_power_w)
      << R"(,"wasted_energy_j":)" << json::number(m.wasted_energy_j)
      << R"(,"capped_starts":)" << m.capped_starts
-     << R"(,"downclocked_jobs":)" << m.downclocked_jobs << "}}";
+     << R"(,"downclocked_jobs":)" << m.downclocked_jobs << "}";
+  if (sampling) {
+    const double speedup =
+        sampling->steps_simulated > 0
+            ? static_cast<double>(sampling->steps_total) /
+                  static_cast<double>(sampling->steps_simulated)
+            : 1.0;
+    os << R"(,"sampling":{"total_node_s":)"
+       << json::number(sampling->total_node_s) << R"(,"ci_half_node_s":)"
+       << json::number(sampling->ci_half_node_s) << R"(,"steps_total":)"
+       << sampling->steps_total << R"(,"steps_simulated":)"
+       << sampling->steps_simulated << R"(,"speedup":)"
+       << json::number(speedup) << "}";
+  }
+  os << "}";
   return os.str();
 }
 

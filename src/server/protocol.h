@@ -26,6 +26,7 @@
 #include "batch/metrics.h"
 #include "batch/queue.h"
 #include "batch/workload.h"
+#include "sampling/plan.h"
 #include "sched/allocator.h"
 
 namespace ctesim::server {
@@ -59,6 +60,13 @@ struct SimulateSpec {
   double power_cap_w = 0.0;
   /// Let capped backfill candidates start at a deeper DVFS state.
   bool dvfs_backfill = false;
+  /// Representative-region sampling of the per-job runtime estimates
+  /// ("sampling":"sampled" plus the sampling_k / sampling_warmup /
+  /// sampling_phases / sampling_seed knobs). Exact (the default) leaves the
+  /// request — and its cache key and reply — exactly as before the knob
+  /// existed; sampled requests carry the plan in the cache key, so a
+  /// sampled reply can never be served where an exact one was asked for.
+  sampling::SamplingPlan sampling;
 };
 
 struct Request {
@@ -89,11 +97,24 @@ std::string canonical_workload(const SimulateSpec& spec);
 std::string ping_reply();
 std::string error_reply(const std::string& code, const std::string& message);
 
+/// Aggregate of the per-job sampled-runtime estimates a sampled request
+/// adds to its reply ("sampling":{...} with CI fields). Jobs are
+/// independent, so the CI half-widths combine in quadrature.
+struct SamplingSummary {
+  double total_node_s = 0.0;    ///< sum over jobs of runtime x nodes
+  double ci_half_node_s = 0.0;  ///< 95% half-width of total_node_s
+  std::uint64_t steps_total = 0;
+  std::uint64_t steps_simulated = 0;
+};
+
 /// The simulate reply: echoes the cache-key triple, then the cluster
 /// metrics and the engine event count of the run. Byte-deterministic.
+/// `sampling` adds the CI block of a sampled request; null (every exact
+/// request) keeps the reply byte-identical to pre-sampling servers.
 std::string simulate_reply(std::uint64_t config_hash,
                            std::uint64_t workload_hash, std::uint64_t seed,
                            const batch::ClusterMetrics& metrics,
-                           std::uint64_t engine_events);
+                           std::uint64_t engine_events,
+                           const SamplingSummary* sampling = nullptr);
 
 }  // namespace ctesim::server

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <sstream>
 
 #include "arch/configs.h"
@@ -246,9 +247,30 @@ std::shared_ptr<const std::string> Service::run_simulation(
   const auto result = batch::run_cluster(model, jobs, options);
   const auto metrics =
       batch::summarize(result, pending.machine->num_nodes);
-  auto reply = std::make_shared<const std::string>(
-      simulate_reply(pending.key.config_hash, pending.key.workload_hash,
-                     spec.seed, metrics, result.engine_events));
+  // Sampled what-ifs re-estimate every job's runtime through the sampling
+  // executor (K representatives per phase instead of every iteration) and
+  // report the aggregate with its confidence interval next to the metrics.
+  SamplingSummary summary;
+  if (spec.sampling.mode != sampling::Mode::kExact) {
+    double var = 0.0;
+    for (const auto& job : jobs) {
+      const auto outcome = model.sampled_runtime(
+          job, model.reference_hops(job.nodes), spec.sampling,
+          options.dvfs.freq_scale);
+      const double nodes = static_cast<double>(job.nodes);
+      summary.total_node_s += outcome.total_s * nodes;
+      var += outcome.ci_half_s * outcome.ci_half_s * nodes * nodes;
+      summary.steps_total +=
+          static_cast<std::uint64_t>(outcome.steps_total);
+      summary.steps_simulated +=
+          static_cast<std::uint64_t>(outcome.steps_simulated);
+    }
+    summary.ci_half_node_s = std::sqrt(var);
+  }
+  auto reply = std::make_shared<const std::string>(simulate_reply(
+      pending.key.config_hash, pending.key.workload_hash, spec.seed, metrics,
+      result.engine_events,
+      spec.sampling.mode != sampling::Mode::kExact ? &summary : nullptr));
   worker_recs_[static_cast<std::size_t>(worker_id)]->span(
       trace::Track::worker(worker_id), "server", "execute",
       hash_hex(pending.key.workload_hash), t0, real_now_ps(),

@@ -158,6 +158,12 @@ double World::phase_max(const std::string& phase) const {
   return *std::max_element(it->second.begin(), it->second.end());
 }
 
+std::vector<double> World::phase_times(const std::string& phase) const {
+  auto it = phase_times_.find(phase);
+  if (it == phase_times_.end()) return {};
+  return it->second;
+}
+
 double World::phase_avg(const std::string& phase) const {
   auto it = phase_times_.find(phase);
   if (it == phase_times_.end() || it->second.empty()) return 0.0;

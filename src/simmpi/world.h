@@ -137,6 +137,11 @@ class World {
   double phase_max(const std::string& phase) const;
   /// Mean across ranks that reported the phase. 0 if unknown.
   double phase_avg(const std::string& phase) const;
+  /// Per-rank accumulated times for a phase, indexed by rank (0 for ranks
+  /// that never reported it). Empty if the phase is unknown. Used by the
+  /// sampling executor, which extrapolates each rank separately before
+  /// taking the slowest — the unbiased estimator of phase_max().
+  std::vector<double> phase_times(const std::string& phase) const;
   std::vector<std::string> phase_names() const;
 
   /// Time spent queueing behind busy links so far (0 unless

@@ -110,4 +110,53 @@ double p99(std::vector<double> values) {
   return percentile(std::move(values), 0.99);
 }
 
+double student_t_975(std::size_t df) {
+  // Two-sided 95% critical values, df 1..30 (standard table); the normal
+  // asymptote beyond. df == 0 falls back to df == 1 (widest).
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return kTable[0];
+  if (df <= 30) return kTable[df - 1];
+  return 1.96;
+}
+
+MeanCi mean_ci95(const std::vector<double>& values) {
+  CTESIM_EXPECTS(!values.empty());
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  MeanCi ci;
+  ci.mean = stats.mean();
+  ci.n = stats.count();
+  if (ci.n >= 2) {
+    ci.half_width = student_t_975(ci.n - 1) * stats.stddev() /
+                    std::sqrt(static_cast<double>(ci.n));
+  }
+  return ci;
+}
+
+double weighted_sum_variance(const std::vector<VarianceTerm>& terms) {
+  double var = 0.0;
+  for (const VarianceTerm& t : terms) {
+    if (t.n < 2) continue;
+    var += t.weight * t.weight * t.var / static_cast<double>(t.n);
+  }
+  return var;
+}
+
+double welch_satterthwaite_df(const std::vector<VarianceTerm>& terms) {
+  // df = (sum_i v_i)^2 / sum_i v_i^2/(n_i - 1), v_i = w_i^2 s_i^2 / n_i.
+  double num = 0.0;
+  double den = 0.0;
+  for (const VarianceTerm& t : terms) {
+    if (t.n < 2 || t.var <= 0.0) continue;
+    const double v = t.weight * t.weight * t.var / static_cast<double>(t.n);
+    num += v;
+    den += v * v / static_cast<double>(t.n - 1);
+  }
+  if (den <= 0.0) return 0.0;
+  return num * num / den;
+}
+
 }  // namespace ctesim

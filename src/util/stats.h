@@ -58,4 +58,36 @@ double percentile(std::vector<double> values, double q);
 double p95(std::vector<double> values);
 double p99(std::vector<double> values);
 
+// --- confidence-interval helpers (used by src/sampling) --------------------
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (t_{0.975,df}). Exact table for df <= 30, the z asymptote 1.96 beyond.
+/// df == 0 (a single sample carries no variance information) returns the
+/// df == 1 value, the widest the table knows.
+double student_t_975(std::size_t df);
+
+/// A mean with its 95% confidence half-width.
+struct MeanCi {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< t_{0.975,n-1} * s / sqrt(n); 0 when n < 2
+  std::size_t n = 0;
+};
+
+/// Sample mean and Student-t 95% CI half-width. Requires n >= 1.
+MeanCi mean_ci95(const std::vector<double>& values);
+
+/// Welch-Satterthwaite effective degrees of freedom for a weighted sum of
+/// independent sample means: sum_i w_i * mean_i with per-term sample
+/// variance `var` over `n` samples. Terms with n < 2 contribute no
+/// variance (and no freedom). Returns 0 when every term is degenerate.
+struct VarianceTerm {
+  double weight = 1.0;  ///< w_i (applied to the mean; variance gets w_i^2)
+  double var = 0.0;     ///< sample variance s_i^2 (n-1 denominator)
+  std::size_t n = 0;    ///< samples behind mean_i
+};
+double welch_satterthwaite_df(const std::vector<VarianceTerm>& terms);
+
+/// Variance of the weighted sum itself: sum_i w_i^2 * var_i / n_i.
+double weighted_sum_variance(const std::vector<VarianceTerm>& terms);
+
 }  // namespace ctesim

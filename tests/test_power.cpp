@@ -7,6 +7,7 @@
 
 #include <stdexcept>
 
+#include "apps/wrf.h"
 #include "arch/configs.h"
 #include "batch/cluster.h"
 #include "batch/metrics.h"
@@ -156,6 +157,44 @@ TEST(Attribution, JobDrawComponentsAndLinkEnergy) {
   EXPECT_DOUBLE_EQ(none.mem_w.value(), 0.0);
   EXPECT_DOUBLE_EQ(
       link_energy(pm, 10.0).value(), 10.0 * pm.link_active.value());
+}
+
+TEST(Attribution, WrfPerKernelJoulesSumToJobTotal) {
+  // The fig16_wrf energy table attributes the WRF proxy's two kernels
+  // separately; attribution is linear in the breakdown, so the per-kernel
+  // Joules must add up to attributing the whole job at once.
+  const arch::MachineModel m = arch::cte_arm();
+  const PowerModel pm = default_power(m);
+  const roofline::ExecModel exec(m.node, arch::default_app_compiler(m));
+  const int cores = m.node.core_count();
+  const apps::WrfConfig wrf;
+  const double points_per_node =
+      static_cast<double>(wrf.grid_x) * wrf.grid_y * wrf.levels / 8.0;
+  const auto bd =
+      exec.analyze(apps::wrf_dynamics_kernel(wrf), points_per_node, cores);
+  const auto bp =
+      exec.analyze(apps::wrf_physics_kernel(wrf), points_per_node, cores);
+  roofline::Breakdown job;
+  job.compute_s = bd.compute_s + bp.compute_s;
+  job.memory_s = bd.memory_s + bp.memory_s;
+  job.total_s = bd.total_s + bp.total_s;
+  job.flops = bd.flops + bp.flops;
+  job.bytes = bd.bytes + bp.bytes;
+  for (const DvfsState& state : dvfs_states()) {
+    const KernelEnergy ed = attribute_kernel(bd, cores, m.node, pm, state);
+    const KernelEnergy ep = attribute_kernel(bp, cores, m.node, pm, state);
+    const KernelEnergy whole = attribute_kernel(job, cores, m.node, pm,
+                                                state);
+    const double sum = ed.total_j.value() + ep.total_j.value();
+    EXPECT_NEAR(sum, whole.total_j.value(), whole.total_j.value() * 1e-12);
+    EXPECT_NEAR(ed.core_j.value() + ep.core_j.value(),
+                whole.core_j.value(), whole.core_j.value() * 1e-12);
+    EXPECT_NEAR(ed.memory_j.value() + ep.memory_j.value(),
+                whole.memory_j.value(), whole.memory_j.value() * 1e-12);
+    EXPECT_NEAR(ed.static_j.value() + ep.static_j.value(),
+                whole.static_j.value(), whole.static_j.value() * 1e-12);
+    EXPECT_GT(sum, 0.0);
+  }
 }
 
 TEST(ClusterEnergy, ComponentsSumToTotalAndRecordsAddUp) {

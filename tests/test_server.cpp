@@ -109,6 +109,53 @@ TEST(Protocol, CanonicalWorkloadExcludesSeed) {
   EXPECT_NE(canonical_workload(a.sim), canonical_workload(c.sim));
 }
 
+TEST(Protocol, ParsesSamplingKnobs) {
+  const Request request = parse_request(simulate_line(
+      10, 1,
+      ",\"sampling\":\"sampled\",\"sampling_k\":12,\"sampling_warmup\":3,"
+      "\"sampling_phases\":4,\"sampling_seed\":9"));
+  EXPECT_EQ(request.sim.sampling.mode, sampling::Mode::kSampled);
+  EXPECT_EQ(request.sim.sampling.k, 12);
+  EXPECT_EQ(request.sim.sampling.warmup, 3);
+  EXPECT_EQ(request.sim.sampling.max_phases, 4);
+  EXPECT_EQ(request.sim.sampling.seed, 9u);
+}
+
+TEST(Protocol, RejectsBadSamplingKnobs) {
+  EXPECT_THROW(parse_request(simulate_line(10, 1, ",\"sampling\":\"maybe\"")),
+               ProtocolError);
+  EXPECT_THROW(parse_request(simulate_line(
+                   10, 1, ",\"sampling\":\"sampled\",\"sampling_k\":0")),
+               ProtocolError);
+  EXPECT_THROW(parse_request(simulate_line(
+                   10, 1, ",\"sampling\":\"sampled\",\"sampling_phases\":65")),
+               ProtocolError);
+  // Sub-knobs without opting into sampled mode are a contradiction, not a
+  // silent no-op: the reply they configure would never be produced.
+  EXPECT_THROW(parse_request(simulate_line(10, 1, ",\"sampling_k\":4")),
+               ProtocolError);
+}
+
+TEST(Protocol, CanonicalWorkloadKeysSamplingOnlyWhenSampled) {
+  // Exact requests — with or without the explicit spelling — must keep the
+  // legacy cache key: old clients hit the same entries as before.
+  Request legacy = parse_request(simulate_line(50, 1));
+  Request exact =
+      parse_request(simulate_line(50, 1, ",\"sampling\":\"exact\""));
+  EXPECT_EQ(canonical_workload(legacy.sim), canonical_workload(exact.sim));
+  EXPECT_EQ(canonical_workload(legacy.sim).find("sampling"),
+            std::string::npos);
+  // Sampled requests get their plan folded in so they never collide with
+  // exact replies — and distinct plans never collide with each other.
+  Request sampled =
+      parse_request(simulate_line(50, 1, ",\"sampling\":\"sampled\""));
+  EXPECT_NE(canonical_workload(legacy.sim), canonical_workload(sampled.sim));
+  Request sampled_k = parse_request(simulate_line(
+      50, 1, ",\"sampling\":\"sampled\",\"sampling_k\":12"));
+  EXPECT_NE(canonical_workload(sampled.sim),
+            canonical_workload(sampled_k.sim));
+}
+
 // --- result cache ----------------------------------------------------------
 
 TEST(ResultCache, LruEvictionAndStats) {
@@ -225,6 +272,35 @@ TEST(Service, DifferentSeedsDiffer) {
   EXPECT_NE(a, b);
   EXPECT_NE(a.find("\"seed\":1"), std::string::npos);
   EXPECT_NE(b.find("\"seed\":2"), std::string::npos);
+  service.shutdown();
+}
+
+TEST(Service, SampledWhatIfCarriesCiFieldsExactStaysLegacy) {
+  Service service(small_config());
+  const std::string exact = service.handle(simulate_line(20, 5));
+  // Legacy/exact replies must not grow new fields.
+  EXPECT_EQ(exact.find("\"sampling\""), std::string::npos);
+  const std::string sampled = service.handle(
+      simulate_line(20, 5, ",\"sampling\":\"sampled\",\"sampling_k\":8"));
+  EXPECT_NE(sampled.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(sampled.find("\"sampling\":{\"total_node_s\":"),
+            std::string::npos);
+  EXPECT_NE(sampled.find("\"ci_half_node_s\":"), std::string::npos);
+  EXPECT_NE(sampled.find("\"steps_simulated\":"), std::string::npos);
+  EXPECT_NE(sampled.find("\"speedup\":"), std::string::npos);
+  // Same line again: served from cache, byte-identical.
+  EXPECT_EQ(sampled,
+            service.handle(simulate_line(
+                20, 5, ",\"sampling\":\"sampled\",\"sampling_k\":8")));
+  // The cluster-dynamics metrics are untouched by the sampling estimate:
+  // both replies describe the same schedule.
+  const auto metric = [](const std::string& reply, const char* key) {
+    const auto at = reply.find(key);
+    return at == std::string::npos ? std::string()
+                                   : reply.substr(at, 40);
+  };
+  EXPECT_EQ(metric(exact, "\"makespan_s\":"),
+            metric(sampled, "\"makespan_s\":"));
   service.shutdown();
 }
 

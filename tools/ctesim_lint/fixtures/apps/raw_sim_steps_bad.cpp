@@ -1,0 +1,34 @@
+// Fixture for the raw-sim-steps rule. It lives under an apps/ directory so
+// the path-scoped check fires; the same spellings outside apps/ (see
+// ../known_bad.cpp, which never mentions them) must stay clean.
+// Never compiled.
+namespace fixture {
+
+struct Config {
+  int sim_steps = 2;
+  int sim_solver_iters = 40;
+  int steps = 1000;
+  int solver_iters = 150;
+};
+
+double bad_extrapolations(const Config& config, double window_time) {
+  // The ad-hoc multiply the sampling executor replaced: scaling a measured
+  // window up to the full run inside app code.
+  const double per_step = window_time / config.sim_steps;  // LINT-EXPECT: raw-sim-steps
+  double total = per_step * config.sim_steps * config.steps;  // LINT-EXPECT: raw-sim-steps
+  const double solver_scale =
+      static_cast<double>(config.solver_iters) / config.sim_solver_iters;  // LINT-EXPECT: raw-sim-steps
+  total += solver_scale;
+  return total;
+}
+
+int fine_uses(const Config& config) {
+  // Plain reads, comparisons and assignments of the knobs are fine — only
+  // scaling arithmetic re-implements the executor's extrapolation.
+  int window = config.sim_steps;
+  if (config.sim_solver_iters > window) window = config.sim_solver_iters;
+  for (int i = 0; i < config.sim_steps; ++i) window += i;
+  return window;
+}
+
+}  // namespace fixture

@@ -52,6 +52,12 @@
 //                        this rule plus the fits_inline static_asserts at
 //                        the core call sites keep the hot path
 //                        allocation-free.
+//   raw-sim-steps        Scaling arithmetic (* or /) on the sim_steps /
+//                        sim_solver_iters knobs in app-proxy code. The
+//                        exact-window extrapolation lives in exactly one
+//                        place — sampling::run_plan — so apps declare the
+//                        window via StepProfile::exact_window (or a channel
+//                        scale) instead of multiplying it out themselves.
 //   detached-thread      std::thread in a src/ file whose .h/.cpp pair
 //                        never calls join(), or an explicit .detach().
 //                        Detached threads outlive shutdown

@@ -272,6 +272,36 @@ void scan_file(const SourceFile& file, const CorpusState& corpus,
                                  "quantities"});
       }
 
+      // raw-sim-steps: the exact-window extrapolation lives in exactly one
+      // place (sampling::run_plan). App-proxy code multiplying or dividing
+      // by the sim_steps / sim_solver_iters knobs is re-growing the ad-hoc
+      // scaling the executor replaced — declare the window in a
+      // StepProfile (or a channel scale) instead.
+      if (file.path.find("/apps/") != std::string::npos &&
+          (t.text == "sim_steps" || t.text == "sim_solver_iters")) {
+        // Walk back over the member-access chain ("config.sim_steps",
+        // "cfg->sim_steps") to the token preceding the whole operand.
+        std::size_t p = i;
+        while (p >= 2 &&
+               (is_punct(toks[p - 1], ".") || is_punct(toks[p - 1], "->")) &&
+               toks[p - 2].kind == Tok::kIdentifier) {
+          p -= 2;
+        }
+        const bool scaled_before =
+            p > 0 &&
+            (is_punct(toks[p - 1], "*") || is_punct(toks[p - 1], "/"));
+        const bool scaled_after =
+            is_punct(at(i + 1), "*") || is_punct(at(i + 1), "/");
+        if (scaled_before || scaled_after) {
+          findings->push_back(
+              {file.path, t.line, "raw-sim-steps",
+               "scaling arithmetic on '" + t.text +
+                   "' in app code — extrapolation belongs to the sampling "
+                   "executor (sampling::run_plan); declare the window via "
+                   "StepProfile::exact_window or a channel scale"});
+        }
+      }
+
       // raw-mutex: a std::mutex that clang's -Wthread-safety cannot see.
       if (!defines_capability && t.text == "std" &&
           is_punct(at(i + 1), "::") && at(i + 2).kind == Tok::kIdentifier &&
